@@ -1,0 +1,38 @@
+"""V2 -- substrate validation: CDG construction/analysis scaling."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cdg import build_cdg, dally_seitz_numbering, is_acyclic
+from repro.routing import (
+    RoutingAlgorithm,
+    dateline_torus,
+    dimension_order_mesh,
+    ecube_hypercube,
+)
+from repro.topology import hypercube, mesh, torus
+
+
+CASES = {
+    "mesh6x6-dor": lambda: (mesh((6, 6)), lambda n: dimension_order_mesh(n, 2)),
+    "torus5x5-dateline": lambda: (torus((5, 5), vcs=2), lambda n: dateline_torus(n, (5, 5))),
+    "hcube5-ecube": lambda: (hypercube(5), lambda n: ecube_hypercube(n, 5)),
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_benchmark_cdg_build(benchmark, case):
+    net, mk = CASES[case]()
+    alg = RoutingAlgorithm(mk(net))
+
+    def payload():
+        cdg = build_cdg(alg)
+        assert is_acyclic(cdg)
+        return cdg
+
+    cdg = benchmark.pedantic(payload, rounds=1, iterations=1)
+    numbering = dally_seitz_numbering(cdg)
+    emit(
+        f"V2 {case}: {cdg.number_of_nodes()} channels, "
+        f"{cdg.number_of_edges()} dependencies, numbering size {len(numbering)}"
+    )

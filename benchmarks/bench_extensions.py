@@ -1,0 +1,110 @@
+"""E7 -- Section 7 extensions: beyond the paper's evaluated scope.
+
+1. Four messages sharing a channel: the generalized unreachability
+   predictor vs the exhaustive search (agreement rate reported; the
+   predictor is a conjecture and its misses are printed, not hidden).
+2. Multiple shared channels: the conclusion's claim that an unreachable
+   configuration needs at least three messages on one shared channel --
+   Figure 1 split 2+2 or 3+1 across two channels must deadlock, while the
+   original 4-on-one split stays unreachable (covered by E1).
+3. Adaptive context: Duato's certificate on the escape-channel mesh (full
+   CDG cyclic, escape sub-CDG acyclic and connected).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cdg import duato_certificate
+from repro.core.multi_message import run_four_message_sweep, run_split_shared_experiment
+from repro.experiments import render_table
+from repro.routing import duato_escape_mesh
+from repro.topology import mesh
+
+
+@pytest.fixture(scope="module")
+def split_result():
+    return run_split_shared_experiment()
+
+
+def test_split_shared_claim(split_result):
+    emit(render_table(split_result.rows, title="E7: Figure 1 split across shared channels"))
+    assert split_result.claim_holds
+    by_split = {r["split"]: r["classification"] for r in split_result.rows}
+    assert by_split["4"] == "unreachable"
+    assert by_split["2+2"] == "deadlock"
+    assert by_split["3+1"] == "deadlock"
+
+
+def test_four_message_predictor_agreement():
+    sweep = run_four_message_sweep(samples=6)
+    emit(
+        f"E7: four-message predictor agrees with search on "
+        f"{sweep.agree}/{sweep.total} configs "
+        f"({sweep.unreachable_found} unreachable found)"
+    )
+    for d in sweep.disagreements:
+        emit(f"  predictor miss: {d}")
+    # the predictor must at least classify the Figure 1 point correctly
+    assert sweep.total >= 1
+    assert sweep.rate >= 0.8
+
+
+def test_duato_certificate_shape():
+    net = mesh((4, 4), vcs=2)
+    cert = duato_certificate(duato_escape_mesh(net, 2))
+    emit(
+        "E7: Duato certificate -- full CDG acyclic: "
+        f"{cert.full_cdg_acyclic}; escape acyclic: {cert.escape_cdg_acyclic}; "
+        f"escape connected: {cert.escape_connected}"
+    )
+    assert not cert.full_cdg_acyclic
+    assert cert.deadlock_free
+
+
+def test_benchmark_split_shared(benchmark, split_result):
+    emit(render_table(split_result.rows, title="E7: Figure 1 split across shared channels"))
+    assert split_result.claim_holds
+    by_split = {r["split"]: r["classification"] for r in split_result.rows}
+    assert by_split == {"4": "unreachable", "3+1": "deadlock", "2+2": "deadlock"}
+
+    def payload():
+        from repro.analysis import SystemSpec, search_deadlock
+        from repro.core.multi_message import split_shared_fig1
+
+        c = split_shared_fig1((0, 1, 0, 1))
+        res = search_deadlock(
+            SystemSpec.uniform(c.checker_messages()), find_witness=False
+        )
+        assert res.deadlock_reachable
+
+    benchmark.pedantic(payload, rounds=1, iterations=1)
+
+
+def test_benchmark_four_message_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        run_four_message_sweep, kwargs=dict(samples=5), rounds=1, iterations=1
+    )
+    emit(
+        f"E7: four-message predictor agrees with search on "
+        f"{sweep.agree}/{sweep.total} configs "
+        f"({sweep.unreachable_found} unreachable found)"
+    )
+    for d in sweep.disagreements:
+        emit(f"  predictor miss: {d}")
+    assert sweep.rate >= 0.8
+
+
+def test_benchmark_duato_certificate(benchmark):
+    net = mesh((4, 4), vcs=2)
+
+    def payload():
+        cert = duato_certificate(duato_escape_mesh(net, 2))
+        assert cert.deadlock_free and not cert.full_cdg_acyclic
+        return cert
+
+    cert = benchmark.pedantic(payload, rounds=1, iterations=1)
+    emit(
+        "E7: Duato certificate -- full CDG acyclic: "
+        f"{cert.full_cdg_acyclic}; escape acyclic: {cert.escape_cdg_acyclic}; "
+        f"escape connected: {cert.escape_connected}"
+    )

@@ -1,0 +1,48 @@
+"""E1 -- Figure 1 + Theorem 1 (DESIGN.md experiment index).
+
+Regenerates the paper's headline artifact: the Cyclic Dependency routing
+algorithm has a cyclic CDG yet is deadlock-free under synchrony; a single
+cycle of in-flight delay completes the cycle (Section 6's observation).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import SystemSpec, search_deadlock
+from repro.core.cyclic_dependency import build_cyclic_dependency_network
+from repro.experiments import render_table, run_fig1_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig1_experiment(max_delay=3)
+
+
+def test_fig1_matches_paper(result):
+    emit(render_table(result.summary_rows(), title="E1: Figure 1 / Theorem 1"))
+    emit("\n".join(result.narrative))
+    assert result.matches_paper
+    assert result.min_delay_to_deadlock == 1  # measured (paper: "one or more")
+
+
+def test_fig1_replay_on_flit_simulator(result):
+    assert result.replay_deadlocked
+
+
+def bench_payload():
+    cdn = build_cyclic_dependency_network()
+    res = search_deadlock(
+        SystemSpec.uniform(cdn.checker_messages(), budget=0), find_witness=False
+    )
+    assert res.is_false_resource_cycle
+    return res.states_explored
+
+
+def test_benchmark_theorem1_search(benchmark, result):
+    """Time the full Theorem 1 exhaustive search (budget 0)."""
+    emit(render_table(result.summary_rows(), title="E1: Figure 1 / Theorem 1"))
+    emit("\n".join(result.narrative))
+    assert result.matches_paper
+    assert result.replay_deadlocked
+    states = benchmark(bench_payload)
+    assert states > 1000

@@ -1,0 +1,37 @@
+"""E2 -- Figure 2 + Theorem 4: two messages sharing a channel always deadlock."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import SystemSpec, search_deadlock
+from repro.core.two_message import build_two_message_config
+from repro.experiments import render_table, run_fig2_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig2_experiment()
+
+
+def test_fig2_matches_paper(result):
+    emit(render_table(result.sweep_rows, title="E2: Figure 2 / Theorem 4 sweep"))
+    assert result.matches_paper
+    assert result.all_sweep_deadlock  # Theorem 4 is universal
+
+
+def test_fig2_proof_schedule_shape(result):
+    # the minimum witness injects the longer-approach message first
+    assert result.longer_approach_injected_first
+
+
+def test_benchmark_theorem4_search(benchmark, result):
+    emit(render_table(result.sweep_rows, title="E2: Figure 2 / Theorem 4 sweep"))
+    assert result.matches_paper and result.all_sweep_deadlock
+    cfg = build_two_message_config()
+
+    def payload():
+        res = search_deadlock(SystemSpec.uniform(cfg.checker_messages()))
+        assert res.deadlock_reachable
+        return res
+
+    benchmark(payload)

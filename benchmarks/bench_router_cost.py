@@ -1,0 +1,47 @@
+"""V3 -- Chien router-complexity model (paper reference [4]).
+
+Measures the intro's claim that oblivious routers are simpler/faster, and
+the flip side for the paper's own construction: Figure 1's hub router N*
+concentrates the whole network and clocks far slower than a mesh router.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.cyclic_dependency import build_cyclic_dependency_network
+from repro.experiments import render_table
+from repro.sim.router_cost import network_cost
+from repro.topology import hypercube, mesh, torus
+
+
+def _rows():
+    rows = []
+    for name, net, width in [
+        ("mesh 8x8 (DOR)", mesh((8, 8)), 1),
+        ("mesh 8x8 (fully adaptive)", mesh((8, 8)), 2),
+        ("torus 4x4, 2 VCs (dateline)", torus((4, 4), vcs=2), 1),
+        ("hypercube-4 (e-cube)", hypercube(4), 1),
+        ("Figure 1 network", build_cyclic_dependency_network().network, 1),
+    ]:
+        cost = network_cost(net, candidate_width=width)
+        row = {"network": name}
+        row.update(cost.summary())
+        rows.append(row)
+    return rows
+
+
+def test_benchmark_router_cost(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit(render_table(rows, title="V3: Chien router-cost model"))
+    by_name = {r["network"]: r for r in rows}
+    # adaptive selection costs cycle time on the same topology
+    assert (
+        by_name["mesh 8x8 (fully adaptive)"]["network cycle time"]
+        > by_name["mesh 8x8 (DOR)"]["network cycle time"]
+    )
+    # the Figure 1 hub is the slowest router in the comparison
+    fig1 = by_name["Figure 1 network"]
+    assert fig1["bottleneck node"] == "N*"
+    assert all(
+        fig1["network cycle time"] >= r["network cycle time"] for r in rows
+    )

@@ -1,0 +1,61 @@
+"""V1 -- substrate validation: wormhole simulator under synthetic traffic.
+
+Shape checks: deadlock-free baselines deliver everything with latency
+rising in offered load; the unrestricted ring (positive control) deadlocks.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import render_table
+from repro.experiments.traffic import run_ring_deadlock_probe, run_traffic_experiment
+from repro.routing import dimension_order_mesh
+from repro.sim import SimConfig, Simulator
+from repro.sim.traffic import uniform_random_traffic
+from repro.topology import mesh
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_traffic_experiment(rates=(0.02, 0.06), cycles=200)
+
+
+def test_baselines_deliver_everything(points):
+    emit(render_table([p.row() for p in points], title="V1: traffic baselines"))
+    for p in points:
+        assert not p.deadlocked
+        assert p.delivered == p.total
+
+
+def test_latency_rises_with_load(points):
+    by_alg: dict[str, list] = {}
+    for p in points:
+        by_alg.setdefault(p.algorithm, []).append(p)
+    for alg, pts in by_alg.items():
+        pts.sort(key=lambda p: p.rate)
+        assert pts[-1].mean_latency >= pts[0].mean_latency * 0.95, alg
+
+
+def test_ring_positive_control_deadlocks():
+    probe = run_ring_deadlock_probe()
+    emit(render_table([probe.row()], title="V1: unrestricted ring positive control"))
+    assert probe.deadlocked
+
+
+def test_benchmark_mesh_simulation(benchmark, points):
+    emit(render_table([p.row() for p in points], title="V1: traffic baselines"))
+    assert all((not p.deadlocked) and p.delivered == p.total for p in points)
+    probe = run_ring_deadlock_probe()
+    emit(render_table([probe.row()], title="V1: unrestricted ring positive control"))
+    assert probe.deadlocked
+    net = mesh((8, 8))
+    fn = dimension_order_mesh(net, 2)
+    specs = uniform_random_traffic(net, rate=0.05, cycles=150, length=4, seed=2)
+
+    def payload():
+        res = Simulator(net, fn, specs, config=SimConfig(max_cycles=20_000)).run()
+        assert res.completed
+        return res.stats.flit_moves
+
+    moves = benchmark.pedantic(payload, rounds=2, iterations=1)
+    assert moves > 1000

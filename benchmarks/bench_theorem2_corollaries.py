@@ -1,0 +1,51 @@
+"""E4 -- Theorem 2 + Corollaries 1-3.
+
+Within-cycle channel sharing always deadlocks; the classic baselines
+(NxN->C form / suffix-closed / coherent) have no unreachable cycles --
+either their CDG is acyclic with a Dally--Seitz numbering certificate, or
+(unrestricted ring) its one cycle classifies as a reachable deadlock.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import SystemSpec, search_deadlock
+from repro.core.within_cycle import theorem2_default
+from repro.experiments import render_table
+from repro.experiments.theorem2 import run_corollary_baselines, run_theorem2_experiment
+
+
+@pytest.fixture(scope="module")
+def overlap():
+    return run_theorem2_experiment()
+
+
+def test_theorem2_all_deadlock(overlap):
+    emit(render_table(overlap.overlap_rows, title="E4: Theorem 2 (shared channel within cycle)"))
+    assert overlap.all_deadlock
+
+
+def test_corollary_baselines():
+    rows = run_corollary_baselines()
+    emit(render_table(rows, title="E4: Corollary 1-3 baselines"))
+    ring_row = rows[0]
+    assert ring_row["classification"] == "deadlock"
+    for row in rows[1:]:
+        assert row["cdg acyclic"] is True
+
+
+def test_benchmark_theorem2_search(benchmark, overlap):
+    emit(render_table(overlap.overlap_rows, title="E4: Theorem 2 (shared channel within cycle)"))
+    assert overlap.all_deadlock
+    rows = run_corollary_baselines()
+    emit(render_table(rows, title="E4: Corollary 1-3 baselines"))
+    assert rows[0]["classification"] == "deadlock"
+    cfg = theorem2_default()
+
+    def payload():
+        res = search_deadlock(
+            SystemSpec.uniform(cfg.checker_messages()), find_witness=False
+        )
+        assert res.deadlock_reachable
+
+    benchmark(payload)

@@ -1,0 +1,36 @@
+"""E5 -- Theorem 3: minimal oblivious routing admits no such unreachable cycles."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import render_kv
+from repro.experiments.theorem3 import run_theorem3_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_theorem3_experiment(
+        num_messages=3, approach_range=(1, 2), hold_range=(2, 3), limit=40
+    )
+
+
+def test_theorem3_holds_over_sweep(result):
+    emit(render_kv(result.summary(), title="E5: Theorem 3 sweep"))
+    assert result.theorem_holds
+
+
+def test_fig1_is_nonminimal(result):
+    emit(render_kv(result.fig1_slack, title="E5: Figure 1 per-pair excess hops"))
+    assert result.fig1_certified_nonminimal
+
+
+def test_benchmark_minimal_sweep(benchmark, result):
+    emit(render_kv(result.summary(), title="E5: Theorem 3 sweep"))
+    assert result.theorem_holds and result.fig1_certified_nonminimal
+    res = benchmark.pedantic(
+        run_theorem3_experiment,
+        kwargs=dict(num_messages=2, approach_range=(1, 2), hold_range=(2, 3)),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.theorem_holds

@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Each ``bench_*.py`` module regenerates one paper artifact (figure/theorem --
+see DESIGN.md section 4): it runs the corresponding experiment driver once
+(module-scoped), *asserts the paper-shape claims*, prints the reproduction
+table (visible with ``pytest benchmarks/ -s``), and times the core
+computation via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print an experiment table under the benchmark output."""
+    print("\n" + text)

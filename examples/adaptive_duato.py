@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Adaptive routing context: Duato's escape channels, live.
+
+The paper's Section 2 recounts how Duato showed cyclic dependency graphs
+are fine for adaptive routing as long as an acyclic *escape* subnetwork
+exists.  This script makes that concrete:
+
+* fully adaptive minimal routing on a single-VC mesh: cyclic CDG, and a
+  crafted scenario wedges into an OR-semantics knot deadlock;
+* the same adaptivity with a dimension-order escape layer on VC0: the
+  escape certificate holds and heavy random traffic always delivers.
+
+Run:  python examples/adaptive_duato.py
+"""
+
+from repro.cdg import build_adaptive_cdg, duato_certificate, is_acyclic
+from repro.routing import FullyAdaptiveMesh, duato_escape_mesh
+from repro.routing.adaptive import AdaptiveRoutingFunction
+from repro.sim import MessageSpec, SimConfig, Simulator
+from repro.sim.traffic import uniform_random_traffic
+from repro.topology import mesh, ring
+
+
+def knot_demo():
+    print("== OR-semantics knot on an adaptive 2-VC ring ==")
+    n = 4
+    net = ring(n, vcs=2)
+
+    class AdaptiveRing(AdaptiveRoutingFunction):
+        """Either virtual channel of the clockwise link."""
+
+        def candidates(self, in_channel, node, dest):
+            return self.network.channels_between(node, (node + 1) % n)
+
+    specs = [
+        MessageSpec(2 * i + j, i, (i + 3) % n, length=6)
+        for i in range(n)
+        for j in range(2)
+    ]
+    res = Simulator(net, AdaptiveRing(net), specs, config=SimConfig(max_cycles=500)).run()
+    print(f"eight 3-hop messages, both VC layers filled -> {res.deadlock}")
+    print("(every candidate of every blocked message is held by another blocked one)\n")
+
+
+def duato_demo():
+    print("== Duato escape channels on a 4x4 mesh ==")
+    net1 = mesh((4, 4))
+    adaptive = FullyAdaptiveMesh(net1, 2)
+    print(
+        "fully adaptive, 1 VC: CDG acyclic?",
+        is_acyclic(build_adaptive_cdg(adaptive)),
+    )
+
+    net2 = mesh((4, 4), vcs=2)
+    escape = duato_escape_mesh(net2, 2)
+    cert = duato_certificate(escape)
+    print(
+        f"with escape layer: full CDG acyclic? {cert.full_cdg_acyclic}; "
+        f"escape sub-CDG acyclic? {cert.escape_cdg_acyclic}; "
+        f"escape connected? {cert.escape_connected}"
+    )
+    print(f"Duato's sufficient condition satisfied: {cert.deadlock_free}")
+
+    specs = uniform_random_traffic(net2, rate=0.3, cycles=120, length=4, seed=17)
+    res = Simulator(net2, escape, specs, config=SimConfig(max_cycles=60_000)).run()
+    print(
+        f"heavy random traffic: delivered {res.delivered}/{res.total}, "
+        f"deadlock: {res.deadlocked}, mean latency "
+        f"{res.stats.mean_latency():.1f} cycles"
+    )
+    assert not res.deadlocked
+
+
+if __name__ == "__main__":
+    knot_demo()
+    duato_demo()

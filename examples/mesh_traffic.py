@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Wormhole traffic study on the classic substrates.
+
+Sweeps offered load on an 8x8 mesh under dimension-order and west-first
+routing and a 4x4 dateline-VC torus, reporting delivery, latency and
+throughput -- then shows the unrestricted ring deadlocking as the positive
+control.  This validates the flit-level simulator in the regime the paper's
+model assumes (the theory experiments all reduce to "does this simulator
+deadlock or not").
+
+Run:  python examples/mesh_traffic.py
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.traffic import run_ring_deadlock_probe, run_traffic_experiment
+
+
+def main():
+    points = run_traffic_experiment(rates=(0.02, 0.05, 0.1), cycles=250)
+    print(render_table([p.row() for p in points], title="offered-load sweep"))
+
+    probe = run_ring_deadlock_probe()
+    print()
+    print(render_table([probe.row()], title="positive control: unrestricted clockwise ring"))
+    if probe.deadlocked:
+        print("\nthe ring jammed, as theory demands (cyclic CDG, NxN->C routing:")
+        print("Corollary 1 says its cycle cannot be a false resource cycle).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Build a labeled dataset of three-shared-message configurations.
+
+Ground truth per configuration comes from the full-adversary search
+protocol (:func:`repro.analysis.classify.classify_configuration`).  Output:
+JSON lines of ``{"d": [...], "h": [...], "unreachable": bool}`` used to
+calibrate the reconstructed Theorem 5 conditions 6-8 (see
+``repro/core/conditions.py``) and to choose the Figure 3 panel parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+
+from repro.analysis.classify import classify_configuration
+from repro.core.specs import CycleMessageSpec, build_shared_cycle
+
+
+def label(ds, hs):
+    specs = [
+        CycleMessageSpec(approach_len=d, hold_len=h, label=f"S{i}")
+        for i, (d, h) in enumerate(zip(ds, hs))
+    ]
+    c = build_shared_cycle(specs, name="cal")
+    reachable, _ = classify_configuration(
+        c.checker_messages(), budget=0, copy_depth=1, max_states=20_000_000
+    )
+    return not reachable
+
+
+def main(out_path: str, samples: int, seed: int) -> None:
+    rng = random.Random(seed)
+    seen = set()
+    rows = []
+    t0 = time.time()
+    while len(rows) < samples:
+        ds = tuple(rng.sample(range(1, 6), 3))
+        hs = tuple(rng.randint(1, 6) for _ in range(3))
+        if (ds, hs) in seen:
+            continue
+        seen.add((ds, hs))
+        unreachable = label(ds, hs)
+        rows.append({"d": list(ds), "h": list(hs), "unreachable": unreachable})
+        if len(rows) % 20 == 0:
+            print(f"{len(rows)}/{samples}  ({time.time()-t0:.0f}s)", flush=True)
+    with open(out_path, "w") as f:
+        for r in rows:
+            f.write(json.dumps(r) + "\n")
+    n_unreach = sum(r["unreachable"] for r in rows)
+    print(f"done: {len(rows)} configs, {n_unreach} unreachable")
+
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "/tmp/thm5_dataset.jsonl"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 250
+    main(out, n, seed=42)

@@ -1,0 +1,30 @@
+"""repro -- reproduction of Schwiebert (SPAA 1997),
+"Deadlock-Free Oblivious Wormhole Routing with Cyclic Dependencies".
+
+Subpackages
+-----------
+``repro.topology``    interconnection-network model and builders
+``repro.routing``     oblivious routing framework, baselines, property checks
+``repro.cdg``         channel dependency graph construction and analysis
+``repro.sim``         flit-level wormhole simulator
+``repro.analysis``    exhaustive deadlock-reachability analysis
+``repro.core``        the paper's constructions and theory
+``repro.experiments`` per-figure/theorem experiment drivers
+``repro.viz``         DOT / text rendering
+
+See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology and results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "topology",
+    "routing",
+    "cdg",
+    "sim",
+    "analysis",
+    "core",
+    "experiments",
+    "viz",
+]

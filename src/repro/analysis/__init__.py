@@ -1,0 +1,77 @@
+"""Reachability analysis: exhaustive search over the paper's adversary.
+
+The deterministic simulator answers "does *this* schedule deadlock?".  The
+paper's claims quantify over **all** schedules: Theorem 1 says *no*
+injection timing, arbitration outcome or modest delay can complete the
+Figure 1 cycle; Theorems 2/4/5 say a deadlock *does* exist for certain
+configurations.  This package decides such claims by explicit-state search
+over everything the adversary controls:
+
+* when each message is injected (any cycle -- Assumption 1);
+* which requester wins each simultaneous arbitration (the paper's
+  adversarial tie-break, explored exhaustively rather than heuristically);
+* a bounded per-message *stall budget* Δ -- the Section 6 "delayed by m
+  clock cycles" knob.  Δ = 0 is the paper's tight-synchrony model in which
+  an unblocked message always advances.
+
+Because oblivious messages follow fixed paths and the worst case is
+single-flit buffers (Section 4's argument), states are tiny tuples and the
+full state space of the figure networks is a few thousand states.
+
+Public API
+----------
+:class:`CheckerMessage` / :class:`SystemSpec` -- scenario description.
+:func:`search_deadlock`                       -- BFS for a reachable deadlock.
+:class:`SearchResult` / :class:`Witness`      -- outcome + replayable trace.
+:func:`classify_cycle`                        -- false resource cycle vs
+                                                 reachable deadlock.
+:func:`min_delay_to_deadlock`                 -- smallest Δ making a
+                                                 configuration deadlock.
+:func:`witness_to_schedule`                   -- replay a witness on the
+                                                 flit-level simulator.
+"""
+
+from repro.analysis.state import CheckerMessage, SystemSpec, SystemState, MsgState
+from repro.analysis.reachability import (
+    search_deadlock,
+    SearchResult,
+    Witness,
+    SearchLimitExceeded,
+)
+from repro.analysis.classify import (
+    classify_cycle,
+    classify_configuration,
+    CycleClassification,
+    messages_for_cycle,
+)
+from repro.analysis.delay import min_delay_to_deadlock, delay_tolerance_profile
+from repro.analysis.schedules import witness_to_schedule, replay_witness
+from repro.analysis.adaptive_state import (
+    AdaptiveMessage,
+    AdaptiveSystem,
+    search_adaptive_deadlock,
+    AdaptiveSearchResult,
+)
+
+__all__ = [
+    "CheckerMessage",
+    "SystemSpec",
+    "SystemState",
+    "MsgState",
+    "search_deadlock",
+    "SearchResult",
+    "Witness",
+    "SearchLimitExceeded",
+    "classify_cycle",
+    "classify_configuration",
+    "CycleClassification",
+    "messages_for_cycle",
+    "min_delay_to_deadlock",
+    "delay_tolerance_profile",
+    "witness_to_schedule",
+    "replay_witness",
+    "AdaptiveMessage",
+    "AdaptiveSystem",
+    "search_adaptive_deadlock",
+    "AdaptiveSearchResult",
+]

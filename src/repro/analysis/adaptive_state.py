@@ -1,0 +1,306 @@
+"""Exhaustive reachability search for *adaptive* routing (Section 7).
+
+The paper closes by calling for its techniques to be applied to adaptive
+routing, where "a choice of output channels and more dependencies between
+channels" make unreachable configurations more likely.  This module
+extends the explicit-state search to routing functions of Duato's form
+``R: C x N -> P(C)``:
+
+* a message's state can no longer be a position on a fixed path -- the
+  *route taken so far* is part of the state (the adversary also chooses
+  which candidate each header takes);
+* blocking is OR-semantics: a header is frozen only when **every**
+  candidate is occupied; a deadlock is a set of messages each of whose
+  candidates is held by another member (the knot criterion, matching
+  :func:`repro.sim.deadlock.detect_deadlock`).
+
+State per message: ``(taken, inj, cons, bud)`` where ``taken`` is the
+tuple of channel ids acquired so far.  The flit train occupies the last
+``inj - cons`` channels of ``taken``.  State spaces are exponentially
+larger than the oblivious checker's, so this is for small certification
+scenarios (the tests and the E7 experiment), with a hard state cap.
+
+Only *progressive* adaptive functions terminate here: if candidates allow
+walking in circles the taken-path grows without bound, caught by
+``max_path_len``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.reachability import SearchLimitExceeded
+from repro.routing.adaptive import AdaptiveRoutingFunction
+from repro.routing.base import INJECT, RoutingError
+from repro.topology.channels import NodeId
+
+# per-message: (taken channel ids, flits injected, flits consumed, budget)
+AdaptiveMsgState = tuple[tuple[int, ...], int, int, int]
+AdaptiveSystemState = tuple[AdaptiveMsgState, ...]
+
+
+@dataclass(frozen=True)
+class AdaptiveMessage:
+    """A message for the adaptive checker: endpoints and length only."""
+
+    src: NodeId
+    dst: NodeId
+    length: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("src == dst")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+
+
+@dataclass
+class AdaptiveSearchResult:
+    deadlock_reachable: bool
+    states_explored: int
+    deadlocked_tags: tuple[str, ...] = ()
+
+
+class AdaptiveSystem:
+    """Successor relation for adaptive messages under the full adversary."""
+
+    def __init__(
+        self,
+        fn: AdaptiveRoutingFunction,
+        messages: Sequence[AdaptiveMessage],
+        *,
+        budget: int = 0,
+        max_path_len: int | None = None,
+    ) -> None:
+        self.fn = fn
+        self.network = fn.network
+        self.messages = tuple(messages)
+        self.budget = budget
+        self.max_path_len = max_path_len or 2 * self.network.num_channels
+        self._chan = {c.cid: c for c in self.network.channels}
+
+    def initial_state(self) -> AdaptiveSystemState:
+        return tuple(((), 0, 0, self.budget) for _ in self.messages)
+
+    # ------------------------------------------------------------------
+    def occupied(self, state: AdaptiveSystemState) -> dict[int, int]:
+        occ: dict[int, int] = {}
+        for i, (taken, inj, cons, _bud) in enumerate(state):
+            f = inj - cons
+            if f <= 0:
+                continue
+            for cid in taken[len(taken) - f :]:
+                assert cid not in occ, "channel double-booked"
+                occ[cid] = i
+        return occ
+
+    def _node(self, taken: tuple[int, ...], i: int) -> NodeId:
+        if not taken:
+            return self.messages[i].src
+        return self._chan[taken[-1]].dst
+
+    def _candidates(self, taken: tuple[int, ...], i: int) -> list[int]:
+        msg = self.messages[i]
+        in_ch = INJECT if not taken else self._chan[taken[-1]]
+        try:
+            cands = self.fn.candidates(in_ch, self._node(taken, i), msg.dst)
+        except RoutingError:
+            return []
+        return [c.cid for c in cands if c.cid not in taken]
+
+    def deadlocked_set(self, state: AdaptiveSystemState) -> tuple[int, ...]:
+        """OR-semantics knot among in-flight, non-arrived messages."""
+        occ = self.occupied(state)
+        waits: dict[int, list[int]] = {}
+        for i, (taken, inj, cons, _bud) in enumerate(state):
+            if not taken or cons == self.messages[i].length:
+                continue
+            if self._node(taken, i) == self.messages[i].dst:
+                continue  # arrived: draining, will free its channels
+            cands = self._candidates(taken, i)
+            if not cands:
+                continue
+            owners = [occ.get(c) for c in cands]
+            if any(o is None or o == i for o in owners):
+                continue
+            waits[i] = [o for o in owners if o is not None]
+        S = set(waits)
+        changed = True
+        while changed:
+            changed = False
+            for mid in list(S):
+                if any(o not in S for o in waits[mid]):
+                    S.discard(mid)
+                    changed = True
+        return tuple(sorted(S))
+
+    # ------------------------------------------------------------------
+    def successors(self, state: AdaptiveSystemState) -> list[AdaptiveSystemState]:
+        """One synchronous cycle with pipelined handoff (round-based)."""
+        results: list[AdaptiveSystemState] = []
+        seen: set[AdaptiveSystemState] = set()
+
+        def emit(cur: list[AdaptiveMsgState]) -> None:
+            t = tuple(cur)
+            if t not in seen:
+                seen.add(t)
+                results.append(t)
+
+        def run_round(cur: list[AdaptiveMsgState], pending: frozenset[int]) -> None:
+            occ = self.occupied(tuple(cur))
+            options: dict[int, list[tuple[str, int | None]]] = {}
+            for i in pending:
+                taken, inj, cons, bud = cur[i]
+                msg = self.messages[i]
+                if cons == msg.length:
+                    continue
+                node = self._node(taken, i)
+                if taken and node == msg.dst:
+                    # header is in its final channel: consumption proceeds
+                    # one flit per cycle; the very first consumption (the
+                    # arrival move) is still a router step and stallable
+                    opts_d: list[tuple[str, int | None]] = [("drain", None)]
+                    if cons == 0 and bud > 0:
+                        opts_d.append(("stall", None))
+                    options[i] = opts_d
+                    continue
+                if len(taken) >= self.max_path_len:
+                    raise SearchLimitExceeded(
+                        "adaptive path exceeded max_path_len; the routing "
+                        "function is not progressive"
+                    )
+                cands = self._candidates(taken, i)
+                free = [c for c in cands if c not in occ]
+                opts: list[tuple[str, int | None]] = []
+                for c in free:
+                    opts.append(("adv", c))
+                if free and bud > 0:
+                    opts.append(("stall", None))
+                if not taken:
+                    if free:
+                        opts.append(("wait", None))
+                    else:
+                        continue  # blocked at injection: silently pending
+                elif not free:
+                    continue  # frozen this round; may retry next round
+                options[i] = opts
+
+            movers = sorted(options)
+            if not movers:
+                emit(cur)
+                return
+
+            def choose(idx: int, chosen: dict[int, tuple[str, int | None]]) -> None:
+                if idx == len(movers):
+                    resolve(dict(chosen))
+                    return
+                i = movers[idx]
+                for opt in options[i]:
+                    chosen[i] = opt
+                    choose(idx + 1, chosen)
+                del chosen[i]
+
+            def resolve(chosen: dict[int, tuple[str, int | None]]) -> None:
+                requests: dict[int, list[int]] = {}
+                for i, (act, chan) in chosen.items():
+                    if chan is not None:
+                        requests.setdefault(chan, []).append(i)
+                contested = [c for c, cands in requests.items() if len(cands) > 1]
+
+                def finish(winners: dict[int, int]) -> None:
+                    nxt = list(cur)
+                    nxt_pending = set(pending)
+                    moved = False
+                    for i, (act, chan) in chosen.items():
+                        taken, inj, cons, bud = nxt[i]
+                        msg = self.messages[i]
+                        final = act
+                        if chan is not None and chan in winners and winners[chan] != i:
+                            final = "lose"
+                        if final == "adv":
+                            assert chan is not None
+                            was_empty = not taken
+                            taken = taken + (chan,)
+                            if was_empty:
+                                inj = 1
+                            elif inj < msg.length and (inj - cons) < len(taken):
+                                inj += 1
+                            nxt[i] = (taken, inj, cons, bud)
+                            nxt_pending.discard(i)
+                            moved = True
+                        elif final == "drain":
+                            cons += 1
+                            if inj < msg.length and (inj - cons) < len(taken):
+                                inj += 1
+                            nxt[i] = (taken, inj, cons, bud)
+                            nxt_pending.discard(i)
+                            moved = True
+                        elif final == "stall":
+                            nxt[i] = (taken, inj, cons, bud - 1)
+                            nxt_pending.discard(i)
+                        elif final == "lose":
+                            nxt_pending.discard(i)
+                        # "wait": stays pending
+                    if moved:
+                        run_round(nxt, frozenset(nxt_pending))
+                    else:
+                        emit(nxt)
+
+                if not contested:
+                    finish({})
+                    return
+
+                def branch(ci: int, winners: dict[int, int]) -> None:
+                    if ci == len(contested):
+                        finish(dict(winners))
+                        return
+                    chan = contested[ci]
+                    for w in requests[chan]:
+                        winners[chan] = w
+                        branch(ci + 1, winners)
+                    del winners[chan]
+
+                branch(0, {})
+
+            choose(0, {})
+
+        run_round(list(state), frozenset(range(len(self.messages))))
+        return results
+
+
+def search_adaptive_deadlock(
+    fn: AdaptiveRoutingFunction,
+    messages: Sequence[AdaptiveMessage],
+    *,
+    budget: int = 0,
+    max_states: int = 500_000,
+) -> AdaptiveSearchResult:
+    """BFS over every schedule, arbitration outcome AND route choice."""
+    system = AdaptiveSystem(fn, messages, budget=budget)
+    init = system.initial_state()
+    visited: set[AdaptiveSystemState] = {init}
+    queue: deque[AdaptiveSystemState] = deque([init])
+    while queue:
+        state = queue.popleft()
+        for nxt in system.successors(state):
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            if len(visited) > max_states:
+                raise SearchLimitExceeded(
+                    f"adaptive search exceeded {max_states} states"
+                )
+            dead = system.deadlocked_set(nxt)
+            if dead:
+                return AdaptiveSearchResult(
+                    deadlock_reachable=True,
+                    states_explored=len(visited),
+                    deadlocked_tags=tuple(
+                        messages[i].tag or f"msg{i}" for i in dead
+                    ),
+                )
+            queue.append(nxt)
+    return AdaptiveSearchResult(deadlock_reachable=False, states_explored=len(visited))

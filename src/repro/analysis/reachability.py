@@ -1,0 +1,193 @@
+"""BFS reachability search for wormhole deadlock configurations.
+
+Explores every state reachable from the empty network under the adversary
+described in :mod:`repro.analysis.state`.  Terminates because the state
+space is finite (header positions, flit counts and budgets are all
+bounded); a configurable state cap turns pathological blow-ups into loud
+:class:`SearchLimitExceeded` errors instead of silently-partial answers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.state import SystemSpec, SystemState
+
+
+class SearchLimitExceeded(RuntimeError):
+    """The search hit its state cap before finishing -- result unknown."""
+
+
+@dataclass
+class Witness:
+    """A replayable path from the empty network to a deadlock state.
+
+    ``steps[t]`` is the tuple of per-message actions taken in cycle ``t``;
+    ``states[t]`` is the state *after* that cycle (``states[-1]`` is the
+    deadlock state).  ``deadlocked`` lists the message indices on the
+    wait-for cycle.
+    """
+
+    spec: SystemSpec
+    steps: list[tuple[str, ...]]
+    states: list[SystemState]
+    deadlocked: tuple[int, ...]
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        """Human-readable cycle-by-cycle account of the deadlock formation."""
+        tags = [m.tag or f"msg{i}" for i, m in enumerate(self.spec.messages)]
+        lines = [f"deadlock witness over {self.num_cycles} cycles; "
+                 f"cycle members: {', '.join(tags[i] for i in self.deadlocked)}"]
+        for t, (acts, st) in enumerate(zip(self.steps, self.states)):
+            parts = []
+            for i, (act, ms) in enumerate(zip(acts, st)):
+                h, inj, cons, bud = ms
+                parts.append(f"{tags[i]}:{act}(h={h},f={inj - cons},b={bud})")
+            lines.append(f"t={t:<3} " + "  ".join(parts))
+        return "\n".join(lines)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :func:`search_deadlock`."""
+
+    deadlock_reachable: bool
+    witness: Witness | None
+    states_explored: int
+    spec: SystemSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def is_false_resource_cycle(self) -> bool:
+        """Convenience alias: unreachable deadlock == false resource cycle."""
+        return not self.deadlock_reachable
+
+
+def _symmetry_canonicalizer(spec: SystemSpec):
+    """Canonical-form function exploiting identical message types.
+
+    Messages with the same (path, length, initial budget) are
+    interchangeable: permuting their per-message states maps reachable
+    states to reachable states and preserves deadlock.  Canonicalising by
+    sorting within each equivalence class can shrink the visited set
+    dramatically when copies are present (the Theorem 1 "more than four
+    messages" searches).  Returns ``None`` when every message is unique.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, (m, b) in enumerate(zip(spec.messages, spec.budgets)):
+        groups.setdefault((m.path, m.length, b), []).append(i)
+    classes = [idxs for idxs in groups.values() if len(idxs) > 1]
+    if not classes:
+        return None
+
+    def canon(state: SystemState) -> SystemState:
+        out = list(state)
+        for idxs in classes:
+            vals = sorted(out[i] for i in idxs)
+            for i, v in zip(idxs, vals):
+                out[i] = v
+        return tuple(out)
+
+    return canon
+
+
+def search_deadlock(
+    spec: SystemSpec,
+    *,
+    max_states: int = 2_000_000,
+    find_witness: bool = True,
+    symmetry_reduction: bool | None = None,
+) -> SearchResult:
+    """Decide whether any reachable state of ``spec`` is a deadlock.
+
+    Parameters
+    ----------
+    spec:
+        The scenario (messages, paths, lengths, stall budgets).
+    max_states:
+        Hard cap on distinct states explored; exceeding it raises
+        :class:`SearchLimitExceeded` (never a silent partial verdict).
+    find_witness:
+        When true, parent pointers are kept so a full
+        :class:`Witness` trace can be reconstructed.
+    symmetry_reduction:
+        Deduplicate states up to permutation of identical message types
+        (same path, length and budget).  Sound and complete for the
+        reachability verdict, but witness action rows may name a different
+        member of an identical pair than a non-reduced search would, so it
+        defaults to on only when ``find_witness`` is false.
+
+    Notes
+    -----
+    BFS order means a returned witness has the minimum number of cycles
+    over all deadlock formations -- handy for reports and replay tests.
+    """
+    if symmetry_reduction is None:
+        symmetry_reduction = not find_witness
+    canon = _symmetry_canonicalizer(spec) if symmetry_reduction else None
+
+    init = spec.initial_state()
+    visited: set[SystemState] = {canon(init) if canon else init}
+    parent: dict[SystemState, tuple[SystemState, tuple[str, ...]]] = {}
+    queue: deque[SystemState] = deque([init])
+
+    dead = spec.deadlocked_set(init)
+    if dead:  # pragma: no cover - empty network can't deadlock
+        raise AssertionError("initial state deadlocked; spec is malformed")
+
+    while queue:
+        state = queue.popleft()
+        for nxt, actions in spec.successors(state):
+            key = canon(nxt) if canon else nxt
+            if key in visited:
+                continue
+            visited.add(key)
+            if len(visited) > max_states:
+                raise SearchLimitExceeded(
+                    f"exceeded {max_states} states; tighten the scenario or raise the cap"
+                )
+            if find_witness:
+                parent[nxt] = (state, actions)
+            dead = spec.deadlocked_set(nxt)
+            if dead:
+                witness = None
+                if find_witness:
+                    witness = _rebuild_witness(spec, parent, init, nxt, dead)
+                return SearchResult(
+                    deadlock_reachable=True,
+                    witness=witness,
+                    states_explored=len(visited),
+                    spec=spec,
+                )
+            queue.append(nxt)
+
+    return SearchResult(
+        deadlock_reachable=False,
+        witness=None,
+        states_explored=len(visited),
+        spec=spec,
+    )
+
+
+def _rebuild_witness(
+    spec: SystemSpec,
+    parent: dict[SystemState, tuple[SystemState, tuple[str, ...]]],
+    init: SystemState,
+    final: SystemState,
+    dead: tuple[int, ...],
+) -> Witness:
+    steps: list[tuple[str, ...]] = []
+    states: list[SystemState] = []
+    cur = final
+    while cur != init:
+        prev, actions = parent[cur]
+        steps.append(actions)
+        states.append(cur)
+        cur = prev
+    steps.reverse()
+    states.reverse()
+    return Witness(spec=spec, steps=steps, states=states, deadlocked=dead)

@@ -1,0 +1,130 @@
+"""Replay checker witnesses on the flit-level simulator.
+
+A deadlock witness found by the abstract search is only trustworthy if the
+concrete simulator, run under the schedule the witness describes, reproduces
+the same deadlock.  This module extracts (injection times, stall cycles,
+arbitration decisions) from a witness and replays them through
+:class:`repro.sim.engine.Simulator` -- the cross-validation backbone used by
+the figure experiments and ``tests/test_cross_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.reachability import Witness
+from repro.routing.base import RoutingFunction
+from repro.sim.arbitration import ArbitrationPolicy, FifoArbitration
+from repro.sim.engine import SimConfig, Simulator, SimResult
+from repro.sim.injection import StallSchedule
+from repro.sim.message import MessageSpec, MessageState
+from repro.topology.channels import Channel
+from repro.topology.network import Network
+
+
+@dataclass
+class ReplaySchedule:
+    """Concrete schedule extracted from a witness."""
+
+    specs: list[MessageSpec]
+    stalls: StallSchedule
+    winners: dict[tuple[int, int], int]  # (cycle, cid) -> mid
+
+
+class ScriptedArbitration(ArbitrationPolicy):
+    """Arbitration that follows a (cycle, channel) -> winner script.
+
+    Unscripted conflicts fall back to FIFO.  A scripted winner that is not
+    among the requesters raises -- replay divergence must fail loudly.
+    """
+
+    def __init__(self, winners: dict[tuple[int, int], int]) -> None:
+        self.winners = winners
+        self._fifo = FifoArbitration()
+
+    def choose(
+        self, channel: Channel, requesters: Sequence[MessageState], cycle: int
+    ) -> MessageState:
+        key = (cycle, channel.cid)
+        if key in self.winners:
+            want = self.winners[key]
+            for m in requesters:
+                if m.mid == want:
+                    return m
+            raise RuntimeError(
+                f"replay divergence: scripted winner {want} not among requesters "
+                f"for channel {channel!r} at cycle {cycle}"
+            )
+        return self._fifo.choose(channel, requesters, cycle)
+
+
+def witness_to_schedule(witness: Witness, *, src_dst: Sequence[tuple] | None = None) -> ReplaySchedule:
+    """Extract a concrete simulator schedule from a witness.
+
+    ``src_dst`` supplies (src, dst) node pairs per message for building
+    :class:`MessageSpec` (the checker itself only knows channel-id paths);
+    when omitted, endpoints are unavailable and this function raises.
+    """
+    if src_dst is None:
+        raise ValueError("src_dst endpoints are required to build MessageSpecs")
+    spec = witness.spec
+    n = len(spec.messages)
+    inject_time: dict[int, int] = {}
+    stall_cycles: dict[int, list[int]] = {}
+    winners: dict[tuple[int, int], int] = {}
+
+    for t, actions in enumerate(witness.steps):
+        prev_state = witness.states[t - 1] if t > 0 else spec.initial_state()
+        for i, act in enumerate(actions):
+            msg = spec.messages[i]
+            if act == "try":
+                inject_time[i] = t
+                winners[(t, msg.path[0])] = i
+            elif act == "adv":
+                h = prev_state[i][0]
+                if 1 <= h <= msg.k - 1:
+                    winners[(t, msg.path[h])] = i
+            elif act == "stall":
+                stall_cycles.setdefault(i, []).append(t)
+
+    specs: list[MessageSpec] = []
+    for i in range(n):
+        src, dst = src_dst[i]
+        specs.append(
+            MessageSpec(
+                mid=i,
+                src=src,
+                dst=dst,
+                length=spec.messages[i].length,
+                inject_time=inject_time.get(i, 0),
+                tag=spec.messages[i].tag,
+            )
+        )
+    return ReplaySchedule(
+        specs=specs, stalls=StallSchedule(stall_cycles), winners=winners
+    )
+
+
+def replay_witness(
+    witness: Witness,
+    network: Network,
+    routing: RoutingFunction,
+    src_dst: Sequence[tuple],
+    *,
+    max_cycles: int = 10_000,
+) -> SimResult:
+    """Run the flit-level simulator under the witness's schedule.
+
+    Returns the :class:`SimResult`; callers assert ``result.deadlocked``.
+    """
+    schedule = witness_to_schedule(witness, src_dst=src_dst)
+    sim = Simulator(
+        network,
+        routing,
+        schedule.specs,
+        config=SimConfig(max_cycles=max_cycles),
+        arbitration=ScriptedArbitration(schedule.winners),
+        stalls=schedule.stalls,
+    )
+    return sim.run()

@@ -1,0 +1,345 @@
+"""Compact state model for the exhaustive wormhole reachability search.
+
+Under oblivious routing with single-flit buffers (the paper's worst case --
+Section 4 argues a deadlock impossible at buffer depth one and minimum
+message length is impossible in general), the entire network state is
+determined by, per message:
+
+``h``    -- header progress: ``0`` not injected; ``1..k`` header occupies
+            path channel ``h-1``; ``k+1`` header consumed at destination.
+``inj``  -- flits injected so far (``<= length``).
+``cons`` -- flits consumed at the destination so far.
+``bud``  -- remaining adversarial stall budget (Section 6's router delay).
+
+The flit train is contiguous: with one-flit buffers a data flit moves only
+when the flit ahead of it moves, so the ``f = inj - cons`` flits in the
+network occupy the ``f`` consecutive path channels ending at the front
+channel ``min(h, k) - 1``.  These are exactly the semantics of
+:class:`repro.sim.engine.Simulator` at ``buffer_depth=1`` (cross-validated
+in ``tests/test_cross_validation.py``).
+
+Per synchronous cycle each message takes one move:
+
+* ``h == 0``: may request path channel 0 (``TRY``) or wait (free).
+* ``1 <= h <= k`` and the next step is available: must advance (``ADV``) or
+  spend a budget unit to stall (``STALL``) -- the synchrony assumption says
+  an unblocked message cannot simply idle.
+* header blocked by another message's flits: frozen (``FREEZE``, forced).
+* ``h == k+1``: the destination consumes one flit per cycle (forced;
+  Assumption 2 makes consumption non-refusable).
+
+Simultaneous requests for one free channel branch over every possible
+winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.topology.channels import Channel
+
+# Per-message state: (h, inj, cons, bud)
+MsgState = tuple[int, int, int, int]
+# Full system state: one MsgState per message, in message order.
+SystemState = tuple[MsgState, ...]
+
+
+@dataclass(frozen=True)
+class CheckerMessage:
+    """A message as seen by the checker: a fixed channel path plus length.
+
+    ``path`` is the tuple of channel ids the header traverses (source to
+    destination); ``length`` is the flit count; ``tag`` labels the message
+    in witnesses and reports.
+    """
+
+    path: tuple[int, ...]
+    length: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("checker message needs a non-empty path")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("path revisits a channel; oblivious routing would loop")
+
+    @property
+    def k(self) -> int:
+        return len(self.path)
+
+    @classmethod
+    def from_channels(
+        cls, channels: Sequence[Channel], length: int, tag: str = ""
+    ) -> "CheckerMessage":
+        return cls(path=tuple(c.cid for c in channels), length=length, tag=tag)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A checker scenario: messages plus per-message stall budgets."""
+
+    messages: tuple[CheckerMessage, ...]
+    budgets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.messages) != len(self.budgets):
+            raise ValueError("one budget per message required")
+        if any(b < 0 for b in self.budgets):
+            raise ValueError("budgets must be >= 0")
+        # hot-path caches (profiled: attribute/property lookups dominate the
+        # search loop otherwise); frozen dataclass, so set via object.
+        object.__setattr__(self, "_paths", tuple(m.path for m in self.messages))
+        object.__setattr__(self, "_ks", tuple(len(m.path) for m in self.messages))
+        object.__setattr__(self, "_lens", tuple(m.length for m in self.messages))
+
+    @classmethod
+    def uniform(
+        cls, messages: Sequence[CheckerMessage], *, budget: int = 0
+    ) -> "SystemSpec":
+        msgs = tuple(messages)
+        return cls(messages=msgs, budgets=tuple(budget for _ in msgs))
+
+    def initial_state(self) -> SystemState:
+        return tuple((0, 0, 0, b) for b in self.budgets)
+
+    # ------------------------------------------------------------------
+    # state interpretation
+    # ------------------------------------------------------------------
+    def occupied_channels(self, state: SystemState) -> dict[int, int]:
+        """Map channel id -> index of the occupying message."""
+        occ: dict[int, int] = {}
+        paths = self._paths  # type: ignore[attr-defined]
+        ks = self._ks  # type: ignore[attr-defined]
+        for i, (h, inj, cons, _bud) in enumerate(state):
+            if h == 0:
+                continue
+            f = inj - cons
+            if f <= 0:
+                continue
+            k = ks[i]
+            front = h - 1 if h <= k else k - 1
+            path = paths[i]
+            for idx in range(front - f + 1, front + 1):
+                cid = path[idx]
+                assert cid not in occ, "two messages occupy one channel: invariant broken"
+                occ[cid] = i
+        return occ
+
+    def is_done(self, state: SystemState, i: int) -> bool:
+        _h, _inj, cons, _bud = state[i]
+        return cons == self.messages[i].length
+
+    def blocked_owner(self, state: SystemState, i: int) -> int | None:
+        """If message ``i``'s header is blocked, the blocking message index."""
+        h, _inj, _cons, _bud = state[i]
+        msg = self.messages[i]
+        if not 1 <= h <= msg.k - 1:
+            return None
+        occ = self.occupied_channels(state)
+        return occ.get(msg.path[h])
+
+    def deadlocked_set(self, state: SystemState) -> tuple[int, ...]:
+        """Messages on a wait-for cycle in ``state`` (empty tuple if none).
+
+        Edge ``i -> j`` when ``i``'s header waits on a channel occupied by
+        ``j``.  A cycle is a genuine deadlock: every member's only possible
+        move depends on another member moving.
+        """
+        occ = self.occupied_channels(state)
+        wait: dict[int, int] = {}
+        for i, (h, _inj, _cons, _bud) in enumerate(state):
+            msg = self.messages[i]
+            if 1 <= h <= msg.k - 1:
+                owner = occ.get(msg.path[h])
+                if owner is not None and owner != i:
+                    wait[i] = owner
+        # find a cycle in the functional graph `wait`
+        color: dict[int, int] = {}  # 1 = in progress, 2 = finished
+        for start in wait:
+            if color.get(start):
+                continue
+            trail: list[int] = []
+            node = start
+            while node in wait and color.get(node) is None:
+                color[node] = 1
+                trail.append(node)
+                node = wait[node]
+            if color.get(node) == 1:
+                # found a cycle; extract it from the trail
+                idx = trail.index(node)
+                for n in trail:
+                    color[n] = 2
+                return tuple(sorted(trail[idx:]))
+            for n in trail:
+                color[n] = 2
+        return ()
+
+    # ------------------------------------------------------------------
+    # successor generation
+    # ------------------------------------------------------------------
+    def successors(self, state: SystemState) -> list[tuple[SystemState, tuple[str, ...]]]:
+        """All successor states for one synchronous cycle.
+
+        Returns ``(next_state, actions)`` pairs where ``actions[i]`` is the
+        last move message ``i`` took this cycle (``"wait"``, ``"try"``,
+        ``"adv"``, ``"stall"``, ``"freeze"``, ``"drain"``, ``"done"``,
+        ``"lose"``).  The search deduplicates states; here every distinct
+        joint choice is emitted so witnesses stay exact.
+
+        **Pipelined channel handoff.**  Flits stream: when a tail flit
+        vacates a channel during a cycle, another header may enter that
+        channel in the *same* cycle (this is how the paper's schedules use
+        ``cs`` -- "immediately after M1 has traversed [cs], the second
+        message starts traversing [cs]").  The cycle is therefore expanded
+        in *rounds*: each round moves messages whose next channel is
+        currently free, applies the moves (which can free tail channels),
+        and repeats until nothing else can move.  Each message moves at
+        most one hop per cycle.
+        """
+        n = len(self.messages)
+        results: list[tuple[SystemState, tuple[str, ...]]] = []
+        seen: set[tuple[SystemState, tuple[str, ...]]] = set()
+
+        ks = self._ks  # type: ignore[attr-defined]
+        lens = self._lens  # type: ignore[attr-defined]
+        paths = self._paths  # type: ignore[attr-defined]
+
+        def apply_action(cur: list[MsgState], i: int, act: str) -> None:
+            h, inj, cons, bud = cur[i]
+            k = ks[i]
+            if act == "stall":
+                bud -= 1
+            elif act == "try":
+                h, inj = 1, 1
+            elif act == "adv":
+                h += 1
+                if h == k + 1:
+                    cons += 1  # header consumed on arrival
+                if inj < lens[i] and (inj - cons) < min(h, k):
+                    inj += 1
+            elif act == "drain":
+                cons += 1
+                if inj < lens[i] and (inj - cons) < k:
+                    inj += 1
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown action {act!r}")
+            cur[i] = (h, inj, cons, bud)
+
+        def emit(cur: list[MsgState], last: list[str]) -> None:
+            key = (tuple(cur), tuple(last))
+            if key not in seen:
+                seen.add(key)
+                results.append(key)
+
+        def run_round(cur: list[MsgState], pending: frozenset[int], last: list[str]) -> None:
+            """Branch over one grant round; ``pending`` may still move."""
+            occ = self.occupied_channels(tuple(cur))
+            # per-pending-message move options this round
+            options: dict[int, list[tuple[str, int | None]]] = {}
+            for i in pending:
+                h, inj, cons, bud = cur[i]
+                k = ks[i]
+                path = paths[i]
+                if cons == lens[i]:
+                    last[i] = "done"
+                    continue
+                if h == 0:
+                    first = path[0]
+                    if first not in occ:
+                        options[i] = [("try", first), ("wait", None)]
+                    # else: stays pending silently (may free later round)
+                elif h <= k - 1:
+                    nxt = path[h]
+                    if nxt not in occ:
+                        opts: list[tuple[str, int | None]] = [("adv", nxt)]
+                        if bud > 0:
+                            opts.append(("stall", None))
+                        options[i] = opts
+                    else:
+                        last[i] = "freeze"
+                elif h == k:
+                    # arrival into the node: no arbitration, but the router
+                    # may stall it (it is an in-network move).
+                    opts = [("adv", None)]
+                    if bud > 0:
+                        opts.append(("stall", None))
+                    options[i] = opts
+                else:  # h == k + 1: draining, forced consumption
+                    options[i] = [("drain", None)]
+
+            movers = sorted(options)
+            if not movers:
+                emit(cur, last)
+                return
+
+            def choose(idx: int, chosen: dict[int, tuple[str, int | None]]) -> None:
+                if idx == len(movers):
+                    resolve(dict(chosen))
+                    return
+                i = movers[idx]
+                for opt in options[i]:
+                    chosen[i] = opt
+                    choose(idx + 1, chosen)
+                del chosen[i]
+
+            def resolve(chosen: dict[int, tuple[str, int | None]]) -> None:
+                requests: dict[int, list[int]] = {}
+                for i, (act, chan) in chosen.items():
+                    if chan is not None:
+                        requests.setdefault(chan, []).append(i)
+                contested = [c for c, cands in requests.items() if len(cands) > 1]
+
+                def finish(winners: dict[int, int]) -> None:
+                    nxt = list(cur)
+                    nxt_last = list(last)
+                    nxt_pending = set(pending)
+                    moved_any = False
+                    for i, (act, chan) in chosen.items():
+                        final = act
+                        if chan is not None and chan in winners and winners[chan] != i:
+                            final = "lose"
+                        if final in ("adv", "try", "drain"):
+                            apply_action(nxt, i, final)
+                            nxt_pending.discard(i)
+                            moved_any = True
+                        elif final == "stall":
+                            apply_action(nxt, i, final)
+                            nxt_pending.discard(i)
+                        elif final == "lose":
+                            nxt_pending.discard(i)
+                        # "wait": stays pending (may try again later round)
+                        nxt_last[i] = final
+                    # messages whose channel was occupied stay pending; if
+                    # nothing moved this round, no channel freed -> fixpoint
+                    if moved_any:
+                        run_round(nxt, frozenset(nxt_pending), nxt_last)
+                    else:
+                        emit(nxt, nxt_last)
+
+                if not contested:
+                    finish({})
+                    return
+
+                def branch(ci: int, winners: dict[int, int]) -> None:
+                    if ci == len(contested):
+                        finish(dict(winners))
+                        return
+                    chan = contested[ci]
+                    for w in requests[chan]:
+                        winners[chan] = w
+                        branch(ci + 1, winners)
+                    del winners[chan]
+
+                branch(0, {})
+
+            choose(0, {})
+
+        init_last = ["wait"] * n
+        for i, (h, inj, cons, bud) in enumerate(state):
+            if cons == self.messages[i].length and self.messages[i].length > 0 and h > 0:
+                init_last[i] = "done"
+        run_round(list(state), frozenset(range(n)), init_last)
+        return results

@@ -1,0 +1,47 @@
+"""Channel dependency graph (CDG) construction and analysis.
+
+Dally--Seitz: the CDG has a vertex per channel and a directed edge
+``c1 -> c2`` whenever some message is permitted to use ``c2`` immediately
+after ``c1``.  An acyclic CDG is *sufficient* for deadlock freedom; the
+paper's whole point is that it is not *necessary*, even for oblivious
+routing.
+
+Public API
+----------
+:func:`build_cdg`              -- CDG from (network, routing algorithm).
+:class:`DependencyInfo`        -- which (src, dst) pairs induce each edge.
+:func:`is_acyclic`             -- Dally--Seitz sufficiency test.
+:func:`find_cycles`            -- enumerate simple cycles (capped).
+:func:`cycle_channels`         -- edge list of a cycle.
+:func:`dally_seitz_numbering`  -- strictly-increasing channel numbering
+                                  certificate for acyclic CDGs.
+"""
+
+from repro.cdg.build import build_cdg, DependencyInfo
+from repro.cdg.analysis import (
+    is_acyclic,
+    find_cycles,
+    cycle_channels,
+    cycle_summary,
+    cycles_through_channel,
+)
+from repro.cdg.numbering import dally_seitz_numbering, verify_numbering
+from repro.cdg.adaptive import build_adaptive_cdg, duato_certificate, DuatoCertificate
+from repro.cdg.flow_model import deadlock_immune_channels, FlowModelResult
+
+__all__ = [
+    "build_cdg",
+    "DependencyInfo",
+    "is_acyclic",
+    "find_cycles",
+    "cycle_channels",
+    "cycle_summary",
+    "cycles_through_channel",
+    "dally_seitz_numbering",
+    "verify_numbering",
+    "build_adaptive_cdg",
+    "duato_certificate",
+    "DuatoCertificate",
+    "deadlock_immune_channels",
+    "FlowModelResult",
+]

@@ -1,0 +1,77 @@
+"""CDG cycle analysis.
+
+The Dally--Seitz test (:func:`is_acyclic`) plus cycle enumeration.  Cycle
+enumeration on dense CDGs can explode combinatorially, so
+:func:`find_cycles` takes a hard cap and reports whether it was hit -- a
+truncated enumeration must never be silently presented as exhaustive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import networkx as nx
+
+from repro.topology.channels import Channel
+
+
+def is_acyclic(cdg: nx.DiGraph) -> bool:
+    """Dally--Seitz sufficiency check: acyclic CDG implies deadlock freedom."""
+    return nx.is_directed_acyclic_graph(cdg)
+
+
+@dataclass
+class CycleEnumeration:
+    """Result of a (possibly capped) simple-cycle enumeration."""
+
+    cycles: list[tuple[Channel, ...]]
+    truncated: bool
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self):
+        return iter(self.cycles)
+
+
+def find_cycles(cdg: nx.DiGraph, *, max_cycles: int = 10_000) -> CycleEnumeration:
+    """Enumerate simple cycles of the CDG (each as a channel tuple).
+
+    Stops after ``max_cycles`` and sets ``truncated`` so callers can refuse
+    to draw exhaustiveness conclusions from a partial enumeration.
+    """
+    cycles: list[tuple[Channel, ...]] = []
+    truncated = False
+    for cyc in nx.simple_cycles(cdg):
+        cycles.append(tuple(cyc))
+        if len(cycles) >= max_cycles:
+            truncated = True
+            break
+    return CycleEnumeration(cycles=cycles, truncated=truncated)
+
+
+def cycle_channels(cycle: Sequence[Channel]) -> list[tuple[Channel, Channel]]:
+    """The dependency edges of a cycle, closing back to the start."""
+    n = len(cycle)
+    return [(cycle[i], cycle[(i + 1) % n]) for i in range(n)]
+
+
+def cycles_through_channel(cdg: nx.DiGraph, channel: Channel, *, max_cycles: int = 10_000) -> list[tuple[Channel, ...]]:
+    """Simple cycles that include ``channel``."""
+    enum = find_cycles(cdg, max_cycles=max_cycles)
+    return [c for c in enum.cycles if channel in c]
+
+
+def cycle_summary(cdg: nx.DiGraph, *, max_cycles: int = 10_000) -> dict[str, object]:
+    """Compact report used by experiment tables."""
+    enum = find_cycles(cdg, max_cycles=max_cycles)
+    lengths = sorted(len(c) for c in enum.cycles)
+    return {
+        "channels": cdg.number_of_nodes(),
+        "dependencies": cdg.number_of_edges(),
+        "acyclic": is_acyclic(cdg),
+        "num_cycles": len(enum.cycles),
+        "cycle_lengths": lengths,
+        "enumeration_truncated": enum.truncated,
+    }

@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Examples
+--------
+::
+
+    python -m repro fig1                 # Figure 1 / Theorem 1 battery
+    python -m repro fig2                 # Figure 2 / Theorem 4 sweep
+    python -m repro fig3 --sweep 20      # Figure 3 panels + condition sweep
+    python -m repro theorem2             # Theorem 2 + corollary baselines
+    python -m repro theorem3             # Theorem 3 minimal-routing sweep
+    python -m repro gen --max-m 3        # Section 6 delay profile
+    python -m repro traffic              # simulator validation traffic runs
+    python -m repro dot fig1-cdg         # DOT of the Figure 1 CDG
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table, run_fig1_experiment
+
+    res = run_fig1_experiment(max_delay=args.max_delay)
+    print(render_table(res.summary_rows(), title="E1: Figure 1 / Theorem 1"))
+    print()
+    print("\n".join(res.narrative))
+    print(f"\nmin delay to deadlock: {res.min_delay_to_deadlock}")
+    print(f"matches paper: {res.matches_paper}")
+    return 0 if res.matches_paper else 1
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table, run_fig2_experiment
+
+    res = run_fig2_experiment()
+    print(render_table(res.sweep_rows, title="E2: Figure 2 / Theorem 4 sweep"))
+    print(f"\nall configurations deadlock: {res.all_sweep_deadlock}")
+    print(f"proof's injection order reproduced: {res.longer_approach_injected_first}")
+    return 0 if res.matches_paper else 1
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table
+    from repro.experiments.fig3 import run_condition_sweep, run_fig3_experiment
+
+    panels = run_fig3_experiment()
+    print(render_table([r.row() for r in panels], title="E3: Figure 3 / Theorem 5"))
+    ok = all(r.search_matches_paper and r.conditions_match_search for r in panels)
+    if args.sweep:
+        sweep = run_condition_sweep(samples=args.sweep)
+        print(
+            f"\ncondition sweep: agree on {sweep.agree}/{sweep.total} "
+            f"random configurations"
+        )
+        for d in sweep.disagreements:
+            print(f"  disagreement: {d}")
+        ok = ok and sweep.rate == 1.0
+    return 0 if ok else 1
+
+
+def _cmd_theorem2(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table
+    from repro.experiments.theorem2 import run_corollary_baselines, run_theorem2_experiment
+
+    res = run_theorem2_experiment()
+    print(render_table(res.overlap_rows, title="E4: Theorem 2 overlap configurations"))
+    rows = run_corollary_baselines()
+    print()
+    print(render_table(rows, title="E4: Corollary 1-3 baselines"))
+    return 0 if res.all_deadlock else 1
+
+
+def _cmd_theorem3(args: argparse.Namespace) -> int:
+    from repro.experiments import render_kv
+    from repro.experiments.theorem3 import run_theorem3_experiment
+
+    res = run_theorem3_experiment(limit=args.limit)
+    print(render_kv(res.summary(), title="E5: Theorem 3 sweep"))
+    print()
+    print(render_kv(res.fig1_slack, title="Figure 1 per-pair excess hops (nonminimality)"))
+    return 0 if res.theorem_holds and res.fig1_certified_nonminimal else 1
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table
+    from repro.experiments.generalization import run_generalization_experiment
+
+    res = run_generalization_experiment(
+        params=tuple(range(1, args.max_m + 1)), max_delay=args.max_m + 4
+    )
+    print(render_table(res.rows(), title="E6: Gen(m) minimum delay to deadlock"))
+    print(f"strictly increasing: {res.strictly_increasing}")
+    return 0 if res.strictly_increasing else 1
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table
+    from repro.experiments.traffic import run_ring_deadlock_probe, run_traffic_experiment
+
+    pts = run_traffic_experiment(rates=tuple(args.rates))
+    print(render_table([p.row() for p in pts], title="V1: traffic baselines"))
+    probe = run_ring_deadlock_probe()
+    print()
+    print(render_table([probe.row()], title="V1: ring positive control"))
+    return 0 if probe.deadlocked and all(not p.deadlocked for p in pts) else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.cdg import build_cdg, find_cycles
+    from repro.core.cyclic_dependency import build_cyclic_dependency_network
+    from repro.viz import cdg_to_dot, network_to_dot
+
+    cdn = build_cyclic_dependency_network()
+    if args.what == "fig1-network":
+        print(network_to_dot(cdn.network, highlight=cdn.cycle_channels))
+    elif args.what == "fig1-cdg":
+        cdg = build_cdg(cdn.algorithm)
+        cycle = find_cycles(cdg).cycles[0]
+        print(cdg_to_dot(cdg, cycle=cycle, name="fig1_cdg"))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Schwiebert (SPAA 1997): deadlock-free oblivious "
+        "wormhole routing with cyclic dependencies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="Figure 1 / Theorem 1 battery")
+    p.add_argument("--max-delay", type=int, default=3)
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="Figure 2 / Theorem 4 sweep")
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="Figure 3 / Theorem 5 panels")
+    p.add_argument("--sweep", type=int, default=0, help="random sweep sample count")
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("theorem2", help="Theorem 2 + corollary baselines")
+    p.set_defaults(fn=_cmd_theorem2)
+
+    p = sub.add_parser("theorem3", help="Theorem 3 minimal-routing sweep")
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(fn=_cmd_theorem3)
+
+    p = sub.add_parser("gen", help="Section 6 generalisation delay profile")
+    p.add_argument("--max-m", type=int, default=2)
+    p.set_defaults(fn=_cmd_gen)
+
+    p = sub.add_parser("traffic", help="simulator-validation traffic runs")
+    p.add_argument("--rates", type=float, nargs="+", default=[0.02, 0.06])
+    p.set_defaults(fn=_cmd_traffic)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT renderings")
+    p.add_argument("what", choices=["fig1-network", "fig1-cdg"])
+    p.set_defaults(fn=_cmd_dot)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The paper's constructions and theory, executable.
+
+* :mod:`specs` -- parametric builder for shared-channel cycle networks
+  (the geometry family behind Figures 1, 2, 3 and Section 6).
+* :mod:`cyclic_dependency` -- the Figure 1 network and the full Cyclic
+  Dependency routing algorithm (Section 4, Theorem 1).
+* :mod:`two_message` -- Figure 2 / Theorem 4 configurations.
+* :mod:`three_message` -- Figure 3(a)--(f) / Theorem 5 configurations.
+* :mod:`within_cycle` -- Theorem 2 configurations (shared channel inside
+  the cycle) and Corollary 1--3 baselines.
+* :mod:`generalized` -- the Section 6 family ``Gen(m)``.
+* :mod:`conditions` -- the eight Theorem 5 conditions, executable.
+* :mod:`theory` -- the closed-form Theorem 1 timing argument.
+* :mod:`minimal_search` -- Theorem 3: minimal-routing configuration sweep.
+"""
+
+from repro.core.specs import (
+    CycleMessageSpec,
+    SharedCycleConstruction,
+    build_shared_cycle,
+)
+from repro.core.cyclic_dependency import (
+    CyclicDependencyNetwork,
+    build_cyclic_dependency_network,
+    FIG1_MESSAGES,
+)
+from repro.core.two_message import build_two_message_config, TWO_MESSAGE_DEFAULT
+from repro.core.three_message import (
+    ThreeMessageParams,
+    build_three_message_config,
+    FIG3_PANELS,
+)
+from repro.core.within_cycle import build_overlapping_ring, OverlapSpec
+from repro.core.generalized import build_generalized, generalized_messages
+from repro.core.conditions import (
+    TheoremFiveInput,
+    evaluate_conditions,
+    theorem5_predicts_unreachable,
+    ConditionReport,
+)
+from repro.core.theory import (
+    Theorem1Timing,
+    analytic_schedule_feasible,
+    earliest_blocking_analysis,
+)
+from repro.core.minimal_search import sweep_minimal_configs, MinimalSweepResult
+from repro.core.multi_message import (
+    predicted_unreachable,
+    run_four_message_sweep,
+    split_shared_fig1,
+    run_split_shared_experiment,
+)
+
+__all__ = [
+    "CycleMessageSpec",
+    "SharedCycleConstruction",
+    "build_shared_cycle",
+    "CyclicDependencyNetwork",
+    "build_cyclic_dependency_network",
+    "FIG1_MESSAGES",
+    "build_two_message_config",
+    "TWO_MESSAGE_DEFAULT",
+    "ThreeMessageParams",
+    "build_three_message_config",
+    "FIG3_PANELS",
+    "build_overlapping_ring",
+    "OverlapSpec",
+    "build_generalized",
+    "generalized_messages",
+    "TheoremFiveInput",
+    "evaluate_conditions",
+    "theorem5_predicts_unreachable",
+    "ConditionReport",
+    "Theorem1Timing",
+    "analytic_schedule_feasible",
+    "earliest_blocking_analysis",
+    "sweep_minimal_configs",
+    "MinimalSweepResult",
+    "predicted_unreachable",
+    "run_four_message_sweep",
+    "split_shared_fig1",
+    "run_split_shared_experiment",
+]

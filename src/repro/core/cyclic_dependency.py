@@ -1,0 +1,171 @@
+"""The Figure 1 network and the Cyclic Dependency routing algorithm (Sec. 4).
+
+Reconstruction (the source figure is an unreadable scan; geometry is derived
+from the prose of Theorem 1's proof -- see DESIGN.md item 3.1):
+
+* Hub node ``N*`` with bidirectional links to every other node; every
+  ordinary message routes ``source -> N* -> destination`` (one relay hop),
+  and ``N*`` itself sends directly.
+* Four exception pairs ``(Src, D1) .. (Src, D4)``: the message crosses the
+  shared channel ``cs = Src -> N*``, walks a private approach chain to its
+  entry node ``P_i`` on the 14-channel ring, and follows the ring to ``D_i``
+  *through* ``D_{i-1}``:
+
+  - ring, in travel order:
+    ``P1, D4, X1, P2, D1, X2, X3, P3, D2, X4, P4, D3, X5, X6`` (wraps to P1);
+  - ``M1 = Src->D1`` enters at ``P1`` via ``N* -> A1 -> P1``
+    (2 channels from ``cs``), holds 3 ring channels, blocked at ``P2 -> D1``;
+  - ``M2 = Src->D2`` enters at ``P2`` via ``N* -> B1 -> B2 -> P2``
+    (3 channels), holds 4, blocked at ``P3 -> D2``;
+  - ``M3 = Src->D3`` enters at ``P3`` via ``N* -> A3 -> P3`` (2 channels),
+    holds 3, blocked at ``P4 -> D3``;
+  - ``M4 = Src->D4`` enters at ``P4`` via ``N* -> B3 -> B4 -> P4``
+    (3 channels), holds 4, blocked at ``P1 -> D4``.
+
+These counts are exactly Theorem 1's: "M2 and M4 must hold four channels,
+and messages M1 and M3 must hold three channels...  M2 and M4 use three
+channels from [cs] to the cycle, while M1 and M3 use only two."
+
+The routing function is a genuine ``R: C x N -> C`` (Definition 2): at
+``N*`` the output depends on whether the message arrived on ``cs`` -- that
+input-channel dependence is what lets the cycle messages leave the hub
+relay pattern, and is why Corollary 1 (no unreachable cycles for
+``N x N -> C`` functions) does not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.state import CheckerMessage
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.table import TableRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+#: Ring nodes in travel (dependency) order.
+RING_ORDER: tuple[str, ...] = (
+    "P1", "D4", "X1", "P2", "D1", "X2", "X3", "P3", "D2", "X4", "P4", "D3", "X5", "X6",
+)
+
+#: The four exception messages: tag -> (dest, approach chain from N*, min length)
+FIG1_MESSAGES: dict[str, dict] = {
+    "M1": {"dest": "D1", "approach": ("A1",), "entry": "P1", "min_length": 3},
+    "M2": {"dest": "D2", "approach": ("B1", "B2"), "entry": "P2", "min_length": 4},
+    "M3": {"dest": "D3", "approach": ("A3",), "entry": "P3", "min_length": 3},
+    "M4": {"dest": "D4", "approach": ("B3", "B4"), "entry": "P4", "min_length": 4},
+}
+
+
+@dataclass
+class CyclicDependencyNetwork:
+    """The realised Figure 1 system."""
+
+    network: Network
+    routing: TableRouting
+    cycle_channels: list[Channel]  # the 14 ring channels, travel order
+    shared_channel: Channel  # cs = Src -> N*
+    message_pairs: dict[str, tuple[NodeId, NodeId]]  # tag -> (src, dst)
+
+    @property
+    def algorithm(self) -> RoutingAlgorithm:
+        return RoutingAlgorithm(self.routing)
+
+    def checker_messages(
+        self, lengths: dict[str, int] | None = None
+    ) -> list[CheckerMessage]:
+        """The four cycle messages, checker-ready, at minimum lengths by default."""
+        alg = self.algorithm
+        out: list[CheckerMessage] = []
+        for tag, info in FIG1_MESSAGES.items():
+            src, dst = self.message_pairs[tag]
+            length = (lengths or {}).get(tag, info["min_length"])
+            out.append(CheckerMessage.from_channels(alg.path(src, dst), length, tag=tag))
+        return out
+
+
+def _ring_walk(entry: str, dest: str) -> list[str]:
+    """Ring nodes from ``entry`` (inclusive) to ``dest`` (inclusive), travel order."""
+    n = len(RING_ORDER)
+    i = RING_ORDER.index(entry)
+    walk = [RING_ORDER[i]]
+    while walk[-1] != dest:
+        i = (i + 1) % n
+        walk.append(RING_ORDER[i])
+        if len(walk) > n + 1:  # pragma: no cover - defensive
+            raise AssertionError("ring walk failed to terminate")
+    return walk
+
+
+def build_cyclic_dependency_network(*, include_reverse_links: bool = True) -> CyclicDependencyNetwork:
+    """Construct the Figure 1 network with its full routing algorithm.
+
+    ``include_reverse_links`` adds the unused reverse direction of the ring
+    and approach links (the paper notes all channels are bidirectional; the
+    reverse directions carry no route and hence never appear in the CDG).
+    """
+    net = Network("fig1-cyclic-dependency")
+    hub = "N*"
+    approach_nodes = [n for info in FIG1_MESSAGES.values() for n in info["approach"]]
+    all_nodes = ["Src", hub, *RING_ORDER, *approach_nodes]
+    for node in all_nodes:
+        net.add_node(node)
+
+    # shared channel cs and hub links (bidirectional, both directions used)
+    shared = net.add_channel("Src", hub, label="cs")
+    net.add_channel(hub, "Src", label="hub->Src")
+    for node in all_nodes:
+        if node in ("Src", hub):
+            continue
+        net.add_channel(hub, node, label=f"hub->{node}")
+        net.add_channel(node, hub, label=f"{node}->hub")
+
+    # ring channels (travel direction; reverse optionally present, unused)
+    n = len(RING_ORDER)
+    ring: list[Channel] = []
+    for j in range(n):
+        a, b = RING_ORDER[j], RING_ORDER[(j + 1) % n]
+        ring.append(net.add_channel(a, b, label=f"ring:{a}->{b}"))
+        if include_reverse_links:
+            net.add_channel(b, a, label=f"ringrev:{b}->{a}")
+
+    # approach chains N* -> ... -> P_i (first hop uses the hub link)
+    for tag, info in FIG1_MESSAGES.items():
+        chain = [hub, *info["approach"], info["entry"]]
+        # hub -> first approach node already exists as a hub link
+        for a, b in zip(chain[1:], chain[2:]):
+            net.add_channel(a, b, label=f"ap:{a}->{b}")
+            if include_reverse_links:
+                net.add_channel(b, a, label=f"aprev:{b}->{a}")
+
+    # ------------------------------------------------------------------
+    # routing table: hub relay everywhere, except the four cycle messages
+    # ------------------------------------------------------------------
+    node_paths: dict[tuple[NodeId, NodeId], list[NodeId]] = {}
+    exceptions: dict[str, tuple[NodeId, NodeId]] = {}
+    for tag, info in FIG1_MESSAGES.items():
+        dest = info["dest"]
+        chain = ["Src", hub, *info["approach"], info["entry"]]
+        chain += _ring_walk(info["entry"], dest)[1:]
+        node_paths[("Src", dest)] = chain
+        exceptions[tag] = ("Src", dest)
+
+    for u in all_nodes:
+        for v in all_nodes:
+            if u == v or (u, v) in node_paths:
+                continue
+            if u == hub:
+                node_paths[(u, v)] = [hub, v]
+            elif v == hub:
+                node_paths[(u, v)] = [u, hub]
+            else:
+                node_paths[(u, v)] = [u, hub, v]
+
+    routing = TableRouting.from_node_paths(net, node_paths, name="CyclicDependency")
+    return CyclicDependencyNetwork(
+        network=net,
+        routing=routing,
+        cycle_channels=ring,
+        shared_channel=shared,
+        message_pairs=exceptions,
+    )

@@ -1,0 +1,65 @@
+"""Section 6: the generalised family ``Gen(m)``.
+
+Figure 1 is deadlock-free only under tight synchrony: delaying the right
+messages a couple of cycles in flight completes the cycle.  Section 6
+scales the construction so deadlock needs at least ~``m`` cycles of
+adversarial delay, for any chosen ``m`` -- discharging the synchrony
+assumption.
+
+The scaling keeps the two load-bearing features the paper names:
+
+1. every message uses more channels inside the cycle than between the
+   shared channel and the cycle (``hold_i > d_i``), so blocking a message
+   outside the cycle just stalls ``cs`` and helps nobody; and
+2. the odd messages (M1, M3) use *fewer* approach channels than the even
+   ones (M2, M4) -- and the generalisation grows that gap: after an odd
+   message releases ``cs``, the even message that must block it needs
+   ``m`` more cycles to reach the blocking channel than the odd message
+   needs to sail past it, so some message must be delayed ~``m`` cycles.
+
+Parameters (matching the paper's comparison sentence, which identifies
+Figure 1 as the ``m = 1`` member):
+
+====  ==============  =================
+      odd (M1, M3)    even (M2, M4)
+====  ==============  =================
+d     ``2``           ``2 + m``
+hold  ``3``           ``2 + 2m``
+L     ``3``           ``2 + 2m``
+====  ==============  =================
+
+``Gen(1)`` is exactly the Figure 1 geometry (sparse form, without the hub
+relay, which plays no role in the cycle analysis).  The even holds must
+outgrow the even approaches (``2 + 2m`` vs ``2 + m``): a uniform ``+m``
+scaling lets the adversary inject both even messages first and absorb the
+growing approach gap inside the growing ``cs`` serialisation delay, capping
+the required stall at a constant -- measured, not hypothetical (see git
+history of this module).  With this scaling the exhaustive search measures
+Δ*(m) = m exactly for m = 1..4 (EXPERIMENTS.md), reproducing the paper's
+"delayed at least m clock cycles" claim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.state import CheckerMessage
+from repro.core.specs import CycleMessageSpec, SharedCycleConstruction, build_shared_cycle
+
+
+def build_generalized(m: int) -> SharedCycleConstruction:
+    """The ``Gen(m)`` network; ``m = 1`` reproduces the Figure 1 geometry."""
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    return build_shared_cycle(
+        [
+            CycleMessageSpec(approach_len=2, hold_len=3, label="M1"),
+            CycleMessageSpec(approach_len=2 + m, hold_len=2 + 2 * m, label="M2"),
+            CycleMessageSpec(approach_len=2, hold_len=3, label="M3"),
+            CycleMessageSpec(approach_len=2 + m, hold_len=2 + 2 * m, label="M4"),
+        ],
+        name=f"gen({m})",
+    )
+
+
+def generalized_messages(m: int) -> list[CheckerMessage]:
+    """Checker messages of ``Gen(m)`` at the minimum adequate lengths."""
+    return build_generalized(m).checker_messages()

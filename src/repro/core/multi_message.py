@@ -1,0 +1,188 @@
+"""Section 7 extensions: beyond three messages, beyond one shared channel.
+
+The paper's conclusion sketches two follow-ups:
+
+1. *"These results could be extended to the case of four messages and
+   beyond."*  :func:`predicted_unreachable` is a generalized predictor for
+   any number of all-shared messages, combining the calibrated structural
+   requirement (every message holds more ring channels than its approach
+   length -- the generalisation of conditions 4-6) with the closed-form
+   consecutive-schedule feasibility test of
+   :func:`repro.core.theory.analytic_schedule_feasible` (the
+   generalisation of conditions 1, 7, 8).  The four-message experiment
+   measures its agreement against the exhaustive search.
+
+2. *"Conditions could also be derived when there are multiple shared
+   channels for the same cycle"*, together with the conclusion's claim
+   that *"any such unreachable configuration ... must have at least three
+   messages that share a channel"*.
+   :func:`split_shared_fig1` rebuilds the Figure 1 geometry with its four
+   messages split across two shared channels (two per channel); by the
+   claim, the cycle must then be a reachable deadlock -- the experiment
+   verifies it, and verifies that a 3+1 split (three messages still
+   sharing one channel) can remain unreachable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.analysis.classify import classify_configuration
+from repro.core.specs import CycleMessageSpec, SharedCycleConstruction, build_shared_cycle
+from repro.core.theory import analytic_schedule_feasible
+
+
+def predicted_unreachable(specs: Sequence[CycleMessageSpec]) -> bool:
+    """Generalized unreachability predictor for all-shared cycles.
+
+    ``True`` iff (a) every message must hold more ring channels than its
+    approach length (so parking any message outside the cycle starves the
+    shared channel instead of helping), and (b) no consecutive-``cs``
+    schedule -- over all injection orders and gaps -- meets every
+    Definition-6 blocking deadline.
+
+    For three messages this coincides with the calibrated Theorem 5
+    conditions on the 250-configuration dataset; for four and more it is a
+    *conjecture* the four-message experiment tests against the exhaustive
+    search (agreement rate reported, disagreements printed).
+    """
+    specs = list(specs)
+    if any(not s.uses_shared for s in specs):
+        raise ValueError("predictor covers all-shared configurations only")
+    if any(s.hold_len <= s.approach_len for s in specs):
+        return False
+    return not analytic_schedule_feasible(specs).feasible
+
+
+@dataclass
+class FourMessageSweep:
+    """Agreement stats between the predictor and the exhaustive search."""
+
+    total: int = 0
+    agree: int = 0
+    unreachable_found: int = 0
+    disagreements: list[dict] = field(default_factory=list)
+
+    @property
+    def rate(self) -> float:
+        return self.agree / self.total if self.total else 1.0
+
+
+def run_four_message_sweep(
+    *,
+    samples: int = 25,
+    seed: int = 23,
+    d_range: tuple[int, int] = (1, 4),
+    h_range: tuple[int, int] = (2, 5),
+    max_states: int = 30_000_000,
+) -> FourMessageSweep:
+    """Random four-all-shared configurations: predictor vs ground truth.
+
+    Ground truth is :func:`classify_configuration` (search with interposed
+    copies).  Includes the Figure 1 parameter point explicitly so the sweep
+    always contains at least one unreachable instance.
+    """
+    rng = random.Random(seed)
+    sweep = FourMessageSweep()
+    cases: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
+        ((2, 3, 2, 3), (3, 4, 3, 4)),  # Figure 1
+    ]
+    seen = set(cases)
+    while len(cases) < samples:
+        ds = tuple(rng.randint(*d_range) for _ in range(4))
+        hs = tuple(rng.randint(*h_range) for _ in range(4))
+        if (ds, hs) in seen:
+            continue
+        seen.add((ds, hs))
+        cases.append((ds, hs))
+    for ds, hs in cases:
+        specs = [
+            CycleMessageSpec(approach_len=d, hold_len=h, label=f"S{i}")
+            for i, (d, h) in enumerate(zip(ds, hs))
+        ]
+        try:
+            c = build_shared_cycle(specs, name="four-sweep")
+        except ValueError:
+            continue
+        predicted = predicted_unreachable(specs)
+        reachable, _ = classify_configuration(
+            c.checker_messages(), copy_depth=1, max_states=max_states
+        )
+        sweep.total += 1
+        if not reachable:
+            sweep.unreachable_found += 1
+        if predicted == (not reachable):
+            sweep.agree += 1
+        else:
+            sweep.disagreements.append(
+                {
+                    "d": ds,
+                    "h": hs,
+                    "search": "unreachable" if not reachable else "deadlock",
+                    "predictor": "unreachable" if predicted else "deadlock",
+                }
+            )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# multiple shared channels
+# ----------------------------------------------------------------------
+
+def split_shared_fig1(groups: Sequence[int] = (0, 1, 0, 1)) -> SharedCycleConstruction:
+    """Figure 1 geometry with its four messages split over shared channels.
+
+    ``groups[i]`` assigns message ``M(i+1)`` to shared channel ``cs<g>``.
+    ``(0, 0, 0, 0)`` is the original construction; ``(0, 1, 0, 1)`` puts
+    two messages on each of two shared channels.
+    """
+    if len(groups) != 4:
+        raise ValueError("exactly four group assignments required")
+    base = [(2, 3), (3, 4), (2, 3), (3, 4)]
+    return build_shared_cycle(
+        [
+            CycleMessageSpec(
+                approach_len=d, hold_len=h, label=f"M{i + 1}", shared_group=g
+            )
+            for i, ((d, h), g) in enumerate(zip(base, groups))
+        ],
+        name=f"fig1-split{''.join(map(str, groups))}",
+    )
+
+
+@dataclass
+class SplitSharedResult:
+    """Classification of Figure 1 under every shared-channel split."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def claim_holds(self) -> bool:
+        """The conclusion's claim: unreachable needs >= 3 on one channel."""
+        for row in self.rows:
+            if row["max sharing"] < 3 and row["classification"] == "unreachable":
+                return False
+        return True
+
+
+def run_split_shared_experiment(*, max_states: int = 30_000_000) -> SplitSharedResult:
+    """Classify Figure 1 under 4+0 / 3+1 / 2+2 shared-channel splits."""
+    result = SplitSharedResult()
+    for groups in [(0, 0, 0, 0), (0, 0, 0, 1), (0, 1, 0, 1)]:
+        c = split_shared_fig1(groups)
+        reachable, res = classify_configuration(
+            c.checker_messages(), copy_depth=1, max_states=max_states
+        )
+        counts = [groups.count(g) for g in sorted(set(groups))]
+        result.rows.append(
+            {
+                "split": "+".join(map(str, counts)),
+                "max sharing": max(counts),
+                "classification": "deadlock" if reachable else "unreachable",
+                "states": res.states_explored,
+            }
+        )
+    return result

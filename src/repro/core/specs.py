@@ -1,0 +1,225 @@
+"""Parametric shared-channel cycle constructions.
+
+Every custom network in the paper -- Figure 1, Figure 2, the six Figure 3
+panels and the Section 6 generalisation -- has the same skeleton:
+
+* a unidirectional ring of channels (the dependency cycle);
+* ``r`` messages; message ``i`` enters the ring at entry node ``E_i``,
+  holds the ``hold_i`` ring channels up to the next message's entry, and is
+  destined for the node *one past* ``E_{i+1}`` -- so the first ring channel
+  of message ``i+1`` is exactly the channel message ``i`` blocks on
+  (Definition 6), and message ``i`` routes *through* the destination of
+  message ``i-1``;
+* messages that use the shared channel ``cs = (Src -> N*)`` then traverse a
+  private approach chain of ``approach_len_i`` channels from ``N*`` to
+  ``E_i``; messages that do not use ``cs`` (Figure 3(f)'s fourth message)
+  get their own source and approach chain.
+
+:func:`build_shared_cycle` realises a parameter list as a concrete network
+plus a :class:`~repro.routing.table.TableRouting`, and exposes the
+checker-ready message paths.  The figure modules are thin wrappers choosing
+parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.analysis.state import CheckerMessage
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.table import TableRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class CycleMessageSpec:
+    """Geometry of one message in a shared-channel cycle construction.
+
+    ``approach_len``: channels from the shared channel's head (``N*``) --
+    or from the message's private source when ``uses_shared`` is false --
+    to the cycle entry node.  This is the paper's ``d_i``.
+
+    ``hold_len``: ring channels the message must hold in the deadlock
+    configuration (ring distance from its entry to the next entry).  The
+    message's in-cycle path is ``hold_len + 1`` channels; the paper's
+    ``c_i`` (distance from cycle entry to destination) equals
+    ``hold_len + 1``.
+
+    ``uses_shared``: whether the message routes through a shared channel.
+
+    ``shared_group``: which shared channel the message uses.  Group 0 is
+    the paper's single ``cs``; constructions exercising the conclusion's
+    "at least three messages must share a channel" claim split the cycle
+    messages across several shared channels (``cs0``, ``cs1``, ...), each
+    with its own source node.
+    """
+
+    approach_len: int
+    hold_len: int
+    uses_shared: bool = True
+    label: str = ""
+    shared_group: int = 0
+
+    def __post_init__(self) -> None:
+        if self.approach_len < 1:
+            raise ValueError("approach_len must be >= 1")
+        if self.hold_len < 1:
+            raise ValueError("hold_len must be >= 1")
+        if self.shared_group < 0:
+            raise ValueError("shared_group must be >= 0")
+
+
+@dataclass
+class SharedCycleConstruction:
+    """A realised construction: network, routing, and analysis handles."""
+
+    network: Network
+    routing: TableRouting
+    cycle_channels: list[Channel]  # ring order
+    shared_channel: Channel | None  # group 0's cs (None if nothing shared)
+    message_pairs: list[tuple[NodeId, NodeId]]  # (src, dst) per message
+    specs: list[CycleMessageSpec]
+    entry_positions: list[int] = field(default_factory=list)
+    shared_channels: dict[int, Channel] = field(default_factory=dict)  # group -> cs
+
+    @property
+    def algorithm(self) -> RoutingAlgorithm:
+        return RoutingAlgorithm(self.routing)
+
+    def min_lengths(self) -> list[int]:
+        """Minimum flit counts for the deadlock configuration (hold_len each)."""
+        return [s.hold_len for s in self.specs]
+
+    def checker_messages(
+        self, lengths: Sequence[int] | None = None
+    ) -> list[CheckerMessage]:
+        """Checker-ready messages; default lengths are the minima.
+
+        The paper argues (Section 4) that single-flit buffers and minimum
+        message lengths are the adversary's best case; callers can pass
+        longer lengths to probe that claim.
+        """
+        alg = self.algorithm
+        if lengths is None:
+            lengths = self.min_lengths()
+        if len(lengths) != len(self.message_pairs):
+            raise ValueError("one length per message required")
+        out: list[CheckerMessage] = []
+        for (src, dst), spec, length in zip(self.message_pairs, self.specs, lengths):
+            path = alg.path(src, dst)
+            out.append(
+                CheckerMessage.from_channels(
+                    path, length=length, tag=spec.label or f"{src}->{dst}"
+                )
+            )
+        return out
+
+
+def build_shared_cycle(
+    specs: Sequence[CycleMessageSpec],
+    *,
+    name: str = "shared-cycle",
+) -> SharedCycleConstruction:
+    """Realise a list of :class:`CycleMessageSpec` as a concrete network.
+
+    Messages are in cycle order: message ``i`` blocks on the entry channel
+    of message ``(i + 1) % r``.  At least two messages are required.
+    """
+    specs = list(specs)
+    if len(specs) < 2:
+        raise ValueError("a dependency cycle needs at least two messages")
+    for i, s in enumerate(specs):
+        if not s.label:
+            specs[i] = dataclasses.replace(s, label=f"M{i + 1}")
+
+    net = Network(name)
+    n_ring = sum(s.hold_len for s in specs)
+    ring_nodes = [f"R{j}" for j in range(n_ring)]
+    for node in ring_nodes:
+        net.add_node(node)
+    ring_channels = [
+        net.add_channel(ring_nodes[j], ring_nodes[(j + 1) % n_ring], label=f"ring{j}")
+        for j in range(n_ring)
+    ]
+
+    groups = sorted({s.shared_group for s in specs if s.uses_shared})
+    shared_channels: dict[int, Channel] = {}
+    for g in groups:
+        src_name = "Src" if g == 0 else f"Src{g}"
+        hub_name = "N*" if g == 0 else f"N*{g}"
+        net.add_node(src_name)
+        net.add_node(hub_name)
+        shared_channels[g] = net.add_channel(
+            src_name, hub_name, label="cs" if g == 0 else f"cs{g}"
+        )
+    shared: Channel | None = shared_channels.get(0) or (
+        next(iter(shared_channels.values())) if shared_channels else None
+    )
+
+    entry_positions: list[int] = []
+    pos = 0
+    for s in specs:
+        entry_positions.append(pos)
+        pos += s.hold_len
+
+    pairs: list[tuple[NodeId, NodeId]] = []
+    node_paths: dict[tuple[NodeId, NodeId], list[NodeId]] = {}
+    for i, s in enumerate(specs):
+        entry = ring_nodes[entry_positions[i]]
+        next_entry_pos = entry_positions[(i + 1) % len(specs)]
+        dest = ring_nodes[(next_entry_pos + 1) % n_ring]
+        # approach chain
+        if s.uses_shared:
+            src = "Src" if s.shared_group == 0 else f"Src{s.shared_group}"
+            hub = "N*" if s.shared_group == 0 else f"N*{s.shared_group}"
+            chain: list[NodeId] = [src, hub]
+            start: NodeId = hub
+        else:
+            src = f"S{i + 1}"
+            net.add_node(src)
+            chain = [src]
+            start = src
+        hops_needed = s.approach_len  # channels from `start` to entry
+        prev = start
+        for j in range(hops_needed - 1):
+            mid: NodeId = f"A{i + 1}.{j + 1}"
+            net.add_node(mid)
+            net.add_channel(prev, mid, label=f"ap{i + 1}.{j + 1}")
+            chain.append(mid)
+            prev = mid
+        net.add_channel(prev, entry, label=f"ap{i + 1}.in")
+        chain.append(entry)
+        # ring section: entry .. dest (hold_len + 1 channels)
+        p = entry_positions[i]
+        for _ in range(s.hold_len + 1):
+            p = (p + 1) % n_ring
+            chain.append(ring_nodes[p])
+        if chain[-1] != dest:
+            raise AssertionError("ring walk did not land on the destination")
+        if dest in chain[:-1]:
+            # The walk would pass through its own destination, where the
+            # message is consumed (Assumption 2) -- the intended longer path
+            # cannot exist under destination-based routing.  Such degenerate
+            # geometries (a message's ring walk spanning the whole ring)
+            # are rejected rather than silently mis-built.
+            raise ValueError(
+                f"message {s.label}: path passes through its own destination "
+                f"{dest!r}; hold lengths span the entire ring"
+            )
+        pairs.append((src, dest))
+        node_paths[(src, dest)] = chain
+
+    routing = TableRouting.from_node_paths(net, node_paths, name=name)
+    return SharedCycleConstruction(
+        network=net,
+        routing=routing,
+        cycle_channels=ring_channels,
+        shared_channel=shared,
+        message_pairs=pairs,
+        specs=specs,
+        entry_positions=entry_positions,
+        shared_channels=shared_channels,
+    )

@@ -1,0 +1,122 @@
+"""Figure 3 / Theorem 5: cycles with exactly three messages sharing a channel.
+
+Theorem 5 characterises exactly when a cycle whose shared channel is used
+by three messages is unreachable: eight conditions, all necessary and
+sufficient.  Figure 3 gives six instances: panels (a) and (b) are false
+resource cycles; panels (c)--(f) violate specific conditions and deadlock.
+
+The scanned figure is unreadable, so each panel is instantiated with the
+smallest parameters that match its prose description (which condition it
+satisfies/violates); the experiment then verifies the classification by
+exhaustive search -- which is geometry-exact regardless of how the original
+figure drew the networks.  Panel (f) adds a fourth message that does not
+use the shared channel, exactly as the paper describes.
+
+Parameter meanings (see :mod:`repro.core.specs`): ``d`` = channels from the
+shared channel to the cycle entry, ``hold`` = ring channels the message
+must hold.  Messages are listed in *cycle order* (each blocks on the next
+one's entry channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.specs import CycleMessageSpec, SharedCycleConstruction, build_shared_cycle
+
+
+@dataclass(frozen=True)
+class ThreeMessageParams:
+    """A Figure 3 style configuration, messages in cycle order."""
+
+    specs: tuple[CycleMessageSpec, ...]
+    name: str
+    expected_unreachable: bool  # the paper's stated classification
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        shared = [s for s in self.specs if s.uses_shared]
+        if len(shared) != 3:
+            raise ValueError("Theorem 5 configurations have exactly 3 shared messages")
+
+
+def build_three_message_config(params: ThreeMessageParams) -> SharedCycleConstruction:
+    """Realise a Theorem 5 configuration as a concrete network + routing."""
+    return build_shared_cycle(list(params.specs), name=params.name)
+
+
+def _p(d: int, hold: int, label: str, shared: bool = True) -> CycleMessageSpec:
+    return CycleMessageSpec(approach_len=d, hold_len=hold, uses_shared=shared, label=label)
+
+
+#: The six panels.  Cycle order lists follow condition 1 (M1 followed by M3
+#: with M2 not between them) for the unreachable panels and break specific
+#: conditions for the deadlocking ones.  Labels carry the Theorem 5 naming
+#: per panel: Ma has the longest approach (the paper's M1), Mc the shortest
+#: (M3), Mb the middle one (M2).  Parameters are the smallest instances
+#: whose condition profile matches each panel's prose description; the
+#: classification is verified by exhaustive search in the experiment.
+FIG3_PANELS: dict[str, ThreeMessageParams] = {
+    "a": ThreeMessageParams(
+        specs=(_p(4, 5, "Ma"), _p(2, 4, "Mc"), _p(3, 4, "Mb")),
+        name="fig3a",
+        expected_unreachable=True,
+        description=(
+            "all three messages use more channels within the cycle than from "
+            "the shared channel to the cycle; conditions 1-8 hold"
+        ),
+    ),
+    "b": ThreeMessageParams(
+        specs=(_p(4, 5, "Ma"), _p(2, 3, "Mc"), _p(3, 4, "Mb")),
+        name="fig3b",
+        expected_unreachable=True,
+        description=(
+            "false resource cycle with the shortest message barely long "
+            "enough (h3 = d3 + 1): delaying Ma en route cannot be sustained "
+            "long enough to form the cycle"
+        ),
+    ),
+    "c": ThreeMessageParams(
+        specs=(_p(4, 3, "Ma"), _p(2, 4, "Mc"), _p(3, 4, "Mb")),
+        name="fig3c",
+        expected_unreachable=False,
+        description=(
+            "condition 4 violated (only): M1 holds no more channels inside "
+            "the cycle than its approach length, so it can be parked at its "
+            "entry by an interposed copy and the rest reduces to Theorem 4"
+        ),
+    ),
+    "d": ThreeMessageParams(
+        specs=(_p(4, 4, "Mb"), _p(6, 7, "Ma"), _p(3, 4, "Mc")),
+        name="fig3d",
+        expected_unreachable=False,
+        description=(
+            "condition 6 violated (only): M2's path from the shared channel "
+            "is too long relative to its in-cycle segment (h2 <= d2)"
+        ),
+    ),
+    "e": ThreeMessageParams(
+        specs=(_p(5, 6, "Ma"), _p(1, 2, "Mc"), _p(2, 3, "Mb")),
+        name="fig3e",
+        expected_unreachable=False,
+        description=(
+            "condition 7 violated (only): M1's approach is so long that the "
+            "consecutive schedule Ma, Mb, Mc closes the cycle (d1 >= h2 + d3)"
+        ),
+    ),
+    "f": ThreeMessageParams(
+        specs=(
+            _p(4, 5, "Ma"),
+            _p(2, 4, "Mc"),
+            _p(2, 6, "M4", shared=False),
+            _p(3, 3, "Mb"),
+        ),
+        name="fig3f",
+        expected_unreachable=False,
+        description=(
+            "a fourth message that does not use the shared channel sits "
+            "between Mc and Mb in the cycle; conditions 6 and 8 no longer "
+            "hold and the deadlock forms via the Mc-first schedule"
+        ),
+    ),
+}

@@ -1,0 +1,41 @@
+"""Figure 2 / Theorem 4: a channel shared by exactly two messages.
+
+Theorem 4: *if a shared channel outside of the cycle is used by only two
+messages, the cycle forms a (reachable) deadlock configuration.*  The
+proof's schedule: inject the message with the longer approach first; the
+second starts using ``cs`` immediately after, and both arrive in the cycle
+in time to block each other.
+
+The default parameters mirror Figure 2's two-message ring (approach lengths
+differ, both messages hold the ring segment up to the other's entry).  The
+experiment verifies the deadlock is reachable at stall budget 0 and that the
+proof's injection order is the one the minimum witness uses.
+"""
+
+from __future__ import annotations
+
+from repro.core.specs import CycleMessageSpec, SharedCycleConstruction, build_shared_cycle
+
+#: Figure 2 defaults: M1 approaches through 3 channels, M2 through 2;
+#: each holds 4 ring channels (ring of 8).
+TWO_MESSAGE_DEFAULT: tuple[CycleMessageSpec, ...] = (
+    CycleMessageSpec(approach_len=3, hold_len=4, label="M1"),
+    CycleMessageSpec(approach_len=2, hold_len=4, label="M2"),
+)
+
+
+def build_two_message_config(
+    *,
+    approach_1: int = 3,
+    approach_2: int = 2,
+    hold_1: int = 4,
+    hold_2: int = 4,
+) -> SharedCycleConstruction:
+    """Two messages sharing ``cs`` outside the ring cycle (Theorem 4 shape)."""
+    return build_shared_cycle(
+        [
+            CycleMessageSpec(approach_len=approach_1, hold_len=hold_1, label="M1"),
+            CycleMessageSpec(approach_len=approach_2, hold_len=hold_2, label="M2"),
+        ],
+        name=f"fig2-two-message(d1={approach_1},d2={approach_2},h1={hold_1},h2={hold_2})",
+    )

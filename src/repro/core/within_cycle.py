@@ -1,0 +1,156 @@
+"""Theorem 2: shared channels *within* the cycle always yield deadlock.
+
+Theorem 2's configurations have messages whose in-cycle paths overlap, so
+the channel both messages need is itself a cycle channel.  Each message
+here originates at its own source next to the ring (no shared approach
+channel at all, or equivalently the sharing happens inside the ring), which
+is exactly the hypothesis of the theorem: "all the messages in the
+configuration can use their initial channel in the cycle simultaneously,
+because no channel sharing is required prior to entering the cycle."
+
+:func:`build_overlapping_ring` realises an overlap specification; the
+experiment verifies by exhaustive search that every such configuration
+deadlocks (with zero stall budget), matching the theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.state import CheckerMessage
+from repro.core.specs import SharedCycleConstruction
+from repro.routing.table import TableRouting
+from repro.topology.channels import NodeId
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class OverlapSpec:
+    """One message of an overlapping-ring configuration.
+
+    ``entry_pos``: ring position where the message enters.
+    ``run_len``: consecutive ring channels on its path (``>= 1``); its
+    destination is the node ``run_len`` steps past the entry.  Runs longer
+    than the gap to the next entry overlap the next message's channels --
+    the within-cycle sharing of Theorem 2.
+    ``approach_len``: private channels from its own source to the entry.
+    """
+
+    entry_pos: int
+    run_len: int
+    approach_len: int = 1
+    label: str = ""
+
+
+def build_overlapping_ring(
+    ring_len: int,
+    specs: Sequence[OverlapSpec],
+    *,
+    name: str = "within-cycle",
+) -> SharedCycleConstruction:
+    """Realise an overlapping-ring configuration.
+
+    Validates that consecutive entries fall inside the previous message's
+    run (otherwise the dependency cycle does not close and the scenario is
+    vacuous) and that the runs jointly cover the ring.
+    """
+    specs = list(specs)
+    if len(specs) < 2:
+        raise ValueError("need at least two messages")
+    if ring_len < 3:
+        raise ValueError("ring_len must be >= 3")
+    covered: set[int] = set()
+    order = sorted(range(len(specs)), key=lambda i: specs[i].entry_pos)
+    for idx, i in enumerate(order):
+        s = specs[i]
+        if not 0 <= s.entry_pos < ring_len:
+            raise ValueError("entry_pos out of range")
+        if s.run_len < 1 or s.run_len > ring_len - 1:
+            # run_len == ring_len would make the message end at (or pass
+            # through) its own destination
+            raise ValueError("run_len out of range (must be < ring_len)")
+        covered.update((s.entry_pos + j) % ring_len for j in range(s.run_len))
+        nxt = specs[order[(idx + 1) % len(order)]]
+        gap = (nxt.entry_pos - s.entry_pos) % ring_len
+        if gap == 0 or gap >= s.run_len + 1:
+            # next entry must be a channel this message also uses (strictly
+            # inside or just past its held prefix) for the dependency
+            # cycle to close
+            if gap > s.run_len:
+                raise ValueError(
+                    f"message {i}: next entry at gap {gap} lies beyond its run "
+                    f"({s.run_len}); dependency cycle would not close"
+                )
+    if len(covered) != ring_len:
+        raise ValueError("runs do not cover the ring; no dependency cycle exists")
+
+    net = Network(name)
+    ring_nodes = [f"R{j}" for j in range(ring_len)]
+    for node in ring_nodes:
+        net.add_node(node)
+    ring_channels = [
+        net.add_channel(ring_nodes[j], ring_nodes[(j + 1) % ring_len], label=f"ring{j}")
+        for j in range(ring_len)
+    ]
+
+    pairs: list[tuple[NodeId, NodeId]] = []
+    node_paths: dict[tuple[NodeId, NodeId], list[NodeId]] = {}
+    out_specs = []
+    from repro.core.specs import CycleMessageSpec
+
+    for i, s in enumerate(specs):
+        label = s.label or f"M{i + 1}"
+        src: NodeId = f"S{i + 1}"
+        net.add_node(src)
+        chain: list[NodeId] = [src]
+        prev: NodeId = src
+        for j in range(s.approach_len - 1):
+            mid: NodeId = f"A{i + 1}.{j + 1}"
+            net.add_node(mid)
+            net.add_channel(prev, mid, label=f"ap{i + 1}.{j + 1}")
+            chain.append(mid)
+            prev = mid
+        entry = ring_nodes[s.entry_pos]
+        net.add_channel(prev, entry, label=f"ap{i + 1}.in")
+        chain.append(entry)
+        p = s.entry_pos
+        for _ in range(s.run_len):
+            p = (p + 1) % ring_len
+            chain.append(ring_nodes[p])
+        dest = ring_nodes[p]
+        pairs.append((src, dest))
+        node_paths[(src, dest)] = chain
+        out_specs.append(
+            CycleMessageSpec(
+                approach_len=s.approach_len,
+                hold_len=max(1, s.run_len - 1),
+                uses_shared=False,
+                label=label,
+            )
+        )
+
+    routing = TableRouting.from_node_paths(net, node_paths, name=name)
+    return SharedCycleConstruction(
+        network=net,
+        routing=routing,
+        cycle_channels=ring_channels,
+        shared_channel=None,
+        message_pairs=pairs,
+        specs=out_specs,
+        entry_positions=[s.entry_pos for s in specs],
+    )
+
+
+def theorem2_default() -> SharedCycleConstruction:
+    """Four messages on an 8-ring, each overlapping the next by two channels."""
+    return build_overlapping_ring(
+        8,
+        [
+            OverlapSpec(entry_pos=0, run_len=4, label="Ma"),
+            OverlapSpec(entry_pos=2, run_len=4, label="Mb"),
+            OverlapSpec(entry_pos=4, run_len=4, label="Mc"),
+            OverlapSpec(entry_pos=6, run_len=4, label="Md"),
+        ],
+        name="theorem2-overlap8",
+    )

@@ -1,0 +1,33 @@
+"""Experiment drivers: one per paper figure/theorem (see DESIGN.md sec. 4).
+
+Each driver returns structured rows; :mod:`report` renders them as the
+text tables printed by ``benchmarks/`` and ``examples/``.  Keeping the
+drivers importable (rather than buried in bench files) lets tests assert
+the *scientific* claims independently of benchmark timing plumbing.
+"""
+
+from repro.experiments.fig1 import run_fig1_experiment, Fig1Result
+from repro.experiments.fig2 import run_fig2_experiment, Fig2Result
+from repro.experiments.fig3 import run_fig3_experiment, Fig3PanelResult
+from repro.experiments.theorem2 import run_theorem2_experiment, run_corollary_baselines
+from repro.experiments.theorem3 import run_theorem3_experiment
+from repro.experiments.generalization import run_generalization_experiment
+from repro.experiments.traffic import run_traffic_experiment, TrafficPoint
+from repro.experiments.report import render_table, render_kv
+
+__all__ = [
+    "run_fig1_experiment",
+    "Fig1Result",
+    "run_fig2_experiment",
+    "Fig2Result",
+    "run_fig3_experiment",
+    "Fig3PanelResult",
+    "run_theorem2_experiment",
+    "run_corollary_baselines",
+    "run_theorem3_experiment",
+    "run_generalization_experiment",
+    "run_traffic_experiment",
+    "TrafficPoint",
+    "render_table",
+    "render_kv",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping[str, object]], *, title: str | None = None) -> str:
+    """Render a list of uniform dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in cols}
+    formatted: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for c in cols:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                s = f"{v:.3g}"
+            else:
+                s = str(v)
+            widths[c] = max(widths[c], len(s))
+            cells.append(s)
+        formatted.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in formatted:
+        lines.append("  ".join(s.ljust(widths[c]) for s, c in zip(cells, cols)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a key/value mapping as aligned text."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {v}")
+    return "\n".join(lines)

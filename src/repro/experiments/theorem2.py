@@ -1,0 +1,153 @@
+"""Experiment E4 -- Theorem 2 and Corollaries 1-3.
+
+Theorem 2: a cycle whose shared channels lie *within* the cycle always
+yields a reachable deadlock.  Verified over a family of overlapping-ring
+configurations.
+
+Corollaries 1-3: oblivious algorithms of the ``N x N -> C`` form,
+suffix-closed algorithms, and coherent algorithms have no unreachable
+cyclic configurations -- i.e. for those baselines every CDG cycle (if any)
+is a reachable deadlock.  Verified on:
+
+* the unrestricted clockwise ring (cyclic CDG, ``N x N -> C``, coherent):
+  its single cycle must classify as *deadlock*;
+* dimension-order mesh, e-cube hypercube, dateline torus (coherent or
+  suffix-closed): acyclic CDGs, so the corollaries hold vacuously and the
+  Dally--Seitz numbering certificate exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import SystemSpec, search_deadlock
+from repro.analysis.classify import classify_cycle
+from repro.cdg import build_cdg, dally_seitz_numbering, find_cycles, is_acyclic, verify_numbering
+from repro.core.within_cycle import OverlapSpec, build_overlapping_ring, theorem2_default
+from repro.routing import (
+    RoutingAlgorithm,
+    clockwise_ring,
+    dateline_torus,
+    dimension_order_mesh,
+    ecube_hypercube,
+)
+from repro.routing.properties import analyze_properties
+from repro.topology import hypercube, mesh, ring, torus
+
+
+@dataclass
+class Theorem2Result:
+    overlap_rows: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def all_deadlock(self) -> bool:
+        return all(r["deadlock"] for r in self.overlap_rows)
+
+
+def run_theorem2_experiment() -> Theorem2Result:
+    """Every within-cycle-sharing configuration must deadlock."""
+    configs = [
+        ("overlap8x4", theorem2_default()),
+        (
+            "overlap6x3",
+            build_overlapping_ring(
+                6,
+                [
+                    OverlapSpec(entry_pos=0, run_len=3),
+                    OverlapSpec(entry_pos=2, run_len=3),
+                    OverlapSpec(entry_pos=4, run_len=3),
+                ],
+            ),
+        ),
+        (
+            "overlap10x2-deep",
+            build_overlapping_ring(
+                10,
+                [
+                    OverlapSpec(entry_pos=0, run_len=7),
+                    OverlapSpec(entry_pos=5, run_len=7),
+                ],
+            ),
+        ),
+        (
+            "overlap9x3-uneven",
+            build_overlapping_ring(
+                9,
+                [
+                    OverlapSpec(entry_pos=0, run_len=4, approach_len=2),
+                    OverlapSpec(entry_pos=3, run_len=5, approach_len=1),
+                    OverlapSpec(entry_pos=7, run_len=3, approach_len=3),
+                ],
+            ),
+        ),
+    ]
+    rows: list[dict[str, object]] = []
+    for name, cfg in configs:
+        res = search_deadlock(
+            SystemSpec.uniform(cfg.checker_messages(), budget=0), find_witness=False
+        )
+        rows.append(
+            {
+                "config": name,
+                "messages": len(cfg.message_pairs),
+                "ring": len(cfg.cycle_channels),
+                "deadlock": res.deadlock_reachable,
+                "states": res.states_explored,
+            }
+        )
+    return Theorem2Result(overlap_rows=rows)
+
+
+def run_corollary_baselines(*, ring_n: int = 5) -> list[dict[str, object]]:
+    """Property + cycle-classification table for the classic baselines."""
+    rows: list[dict[str, object]] = []
+
+    # unrestricted ring: cyclic CDG, must classify as reachable deadlock
+    rnet = ring(ring_n)
+    ralg = RoutingAlgorithm(clockwise_ring(rnet, ring_n))
+    rprops = analyze_properties(ralg)
+    rcdg = build_cdg(ralg)
+    cycles = find_cycles(rcdg)
+    assert len(cycles.cycles) == 1
+    cls = classify_cycle(ralg, cycles.cycles[0], length_slack=0, extra_copies=1)
+    rows.append(
+        {
+            "algorithm": f"cw-ring{ring_n}",
+            "coherent": rprops.coherent,
+            "NxN->C": rprops.input_channel_independent,
+            "cdg acyclic": False,
+            "cycles": 1,
+            "classification": "deadlock" if cls.deadlock_reachable else "unreachable",
+        }
+    )
+
+    for name, net, fn, ndims in [
+        ("DOR mesh 4x4", mesh((4, 4)), None, 2),
+        ("ecube hcube3", hypercube(3), None, 3),
+        ("dateline torus 4x4", torus((4, 4), vcs=2), None, 2),
+    ]:
+        if name.startswith("DOR"):
+            f = dimension_order_mesh(net, 2)
+        elif name.startswith("ecube"):
+            f = ecube_hypercube(net, 3)
+        else:
+            f = dateline_torus(net, (4, 4))
+        alg = RoutingAlgorithm(f)
+        props = analyze_properties(alg)
+        cdg = build_cdg(alg)
+        acyclic = is_acyclic(cdg)
+        verdict = "no cycles"
+        if acyclic:
+            numbering = dally_seitz_numbering(cdg)
+            assert verify_numbering(cdg, numbering)
+        rows.append(
+            {
+                "algorithm": name,
+                "coherent": props.coherent,
+                "NxN->C": props.input_channel_independent,
+                "cdg acyclic": acyclic,
+                "cycles": 0 if acyclic else "?",
+                "classification": verdict,
+            }
+        )
+    return rows

@@ -1,0 +1,86 @@
+"""Oblivious routing framework and baseline routing algorithms.
+
+The paper studies *oblivious* routing functions of the form ``R: C x N -> C``
+(Definition 2): the output channel is a function of the input channel and the
+message destination.  The restricted form ``R: N x N -> C`` (current node x
+destination, input-channel independent) is the subject of Corollary 1.
+
+Public API
+----------
+:class:`RoutingFunction`     -- the ``C x N -> C`` protocol (abstract base).
+:class:`RoutingAlgorithm`    -- path iterator / validator on top of a function.
+:class:`TableRouting`        -- oblivious routing compiled from explicit paths.
+:func:`dimension_order_mesh` -- e-cube (XY/XYZ...) routing on meshes.
+:func:`ecube_hypercube`      -- e-cube routing on hypercubes.
+:func:`dateline_torus`       -- Dally--Seitz 2-VC dateline routing on tori.
+:func:`clockwise_ring`       -- unrestricted single-direction ring routing
+                                (deliberately deadlock-prone baseline).
+:mod:`turn_model`            -- oblivious selections inside the turn model.
+:mod:`properties`            -- minimality / prefix / suffix / coherence checks
+                                (Definitions 7--9).
+"""
+
+from repro.routing.base import (
+    RoutingFunction,
+    RoutingAlgorithm,
+    RoutingError,
+    INJECT,
+)
+from repro.routing.table import TableRouting, PathTableError
+from repro.routing.paths import (
+    path_is_contiguous,
+    path_nodes,
+    validate_path,
+)
+from repro.routing.dor import dimension_order_mesh
+from repro.routing.hypercube import ecube_hypercube
+from repro.routing.torus_vc import dateline_torus
+from repro.routing.ring import clockwise_ring
+from repro.routing.turn_model import west_first_mesh, north_last_mesh, negative_first_mesh
+from repro.routing.adaptive import (
+    AdaptiveRoutingFunction,
+    FullyAdaptiveMesh,
+    duato_escape_mesh,
+)
+from repro.routing.properties import (
+    is_connected,
+    is_minimal,
+    is_prefix_closed,
+    is_suffix_closed,
+    is_coherent,
+    is_input_channel_independent,
+    never_revisits_nodes,
+    RoutingProperties,
+    analyze_properties,
+)
+
+__all__ = [
+    "RoutingFunction",
+    "RoutingAlgorithm",
+    "RoutingError",
+    "INJECT",
+    "TableRouting",
+    "PathTableError",
+    "path_is_contiguous",
+    "path_nodes",
+    "validate_path",
+    "dimension_order_mesh",
+    "ecube_hypercube",
+    "dateline_torus",
+    "clockwise_ring",
+    "AdaptiveRoutingFunction",
+    "FullyAdaptiveMesh",
+    "duato_escape_mesh",
+    "west_first_mesh",
+    "north_last_mesh",
+    "negative_first_mesh",
+    "is_connected",
+    "is_minimal",
+    "is_prefix_closed",
+    "is_suffix_closed",
+    "is_coherent",
+    "is_input_channel_independent",
+    "never_revisits_nodes",
+    "RoutingProperties",
+    "analyze_properties",
+]

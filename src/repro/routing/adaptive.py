@@ -1,0 +1,117 @@
+"""Adaptive routing support (the paper's Section 2/7 context).
+
+The paper contrasts its oblivious result with Duato's adaptive theory: an
+adaptive routing function offers a *set* of output channels and remains
+deadlock-free when a connected "escape" subfunction has an acyclic CDG,
+even though the full dependency graph is cyclic.  This module provides the
+adaptive protocol plus two mesh instances:
+
+* :class:`FullyAdaptiveMesh` -- all minimal directions, single VC.  Its CDG
+  is cyclic and real deadlocks exist (the four-corners scenario in the
+  tests): the negative control.
+* :func:`duato_escape_mesh` -- fully adaptive over the VC-1 layer with a
+  dimension-order *escape* channel on VC 0; the escape sub-CDG is acyclic,
+  so by Duato's sufficiency theorem the algorithm is deadlock-free.
+
+Adaptive messages follow the same wormhole rules as oblivious ones; the
+header may take *any* currently-free candidate (preference-ordered), and is
+blocked only when every candidate is held (OR semantics -- see
+:func:`repro.sim.deadlock.detect_deadlock`).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class AdaptiveRoutingFunction(RoutingFunction):
+    """Routing function of the form ``R: C x N -> P(C)`` (Duato's form).
+
+    Subclasses implement :meth:`candidates`; :meth:`route` returns the
+    first candidate so oblivious-only consumers (path materialisation, the
+    CDG builder for the *deterministic selection*) still work, but the
+    simulator detects this class and requests adaptively.
+    """
+
+    is_adaptive = True
+
+    @abstractmethod
+    def candidates(
+        self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId
+    ) -> list[Channel]:
+        """Preference-ordered, non-empty list of permitted output channels."""
+
+    def route(self, in_channel, node, dest) -> Channel:
+        cands = self.candidates(in_channel, node, dest)
+        if not cands:
+            raise RoutingError(f"{self.name()}: no candidates at {node!r} toward {dest!r}")
+        return cands[0]
+
+
+class FullyAdaptiveMesh(AdaptiveRoutingFunction):
+    """All minimal directions on a mesh, one VC -- deadlock-prone.
+
+    ``prefer_axis_order`` controls the preference order of the candidate
+    list (it matters only when several candidates are simultaneously free).
+    """
+
+    def __init__(self, network: Network, ndims: int, *, vc: int = 0) -> None:
+        super().__init__(network)
+        self.ndims = ndims
+        self.vc = vc
+
+    def candidates(self, in_channel, node, dest) -> list[Channel]:
+        if not isinstance(node, tuple) or not isinstance(dest, tuple):
+            raise RoutingError("adaptive mesh routing requires coordinate-tuple node ids")
+        out: list[Channel] = []
+        for axis in range(self.ndims):
+            delta = dest[axis] - node[axis]
+            if delta == 0:
+                continue
+            step = 1 if delta > 0 else -1
+            nxt = list(node)
+            nxt[axis] += step
+            for c in self.network.channels_between(node, tuple(nxt)):
+                if c.vc == self.vc:
+                    out.append(c)
+        if not out:
+            raise RoutingError(f"no minimal move from {node!r} to {dest!r}")
+        return out
+
+    def name(self) -> str:
+        return f"fully-adaptive-mesh{self.ndims}d"
+
+
+class _DuatoEscapeMesh(AdaptiveRoutingFunction):
+    """Fully adaptive on VC1 plus a dimension-order escape on VC0."""
+
+    def __init__(self, network: Network, ndims: int) -> None:
+        super().__init__(network)
+        self.ndims = ndims
+        self._adaptive = FullyAdaptiveMesh(network, ndims, vc=1)
+        from repro.routing.dor import dimension_order_mesh
+
+        self._escape = dimension_order_mesh(network, ndims, vc=0)
+
+    def candidates(self, in_channel, node, dest) -> list[Channel]:
+        cands = list(self._adaptive.candidates(in_channel, node, dest))
+        cands.append(self._escape.route(in_channel, node, dest))
+        return cands
+
+    def name(self) -> str:
+        return f"duato-escape-mesh{self.ndims}d"
+
+    def escape_function(self) -> RoutingFunction:
+        """The escape subfunction (for the acyclic-sub-CDG certificate)."""
+        return self._escape
+
+
+def duato_escape_mesh(network: Network, ndims: int) -> _DuatoEscapeMesh:
+    """Duato-style adaptive routing; requires a mesh built with ``vcs=2``."""
+    if ndims < 1:
+        raise ValueError("ndims must be >= 1")
+    return _DuatoEscapeMesh(network, ndims)

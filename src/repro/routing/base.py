@@ -1,0 +1,164 @@
+"""Routing-function protocol and the path-producing routing algorithm.
+
+Definitions mirrored from the paper:
+
+* **Definition 2** -- a routing function ``R: C x N -> C`` maps (input
+  channel, destination) to the output channel.  At the source node there is
+  no input channel yet; we model injection with the sentinel :data:`INJECT`,
+  so the full domain is ``(C u {INJECT at node}) x N``.
+* **Definition 3** -- the routing *algorithm* ``R'(src, dst)`` is the path
+  obtained by iterating the routing function from the source until the
+  destination is reached.
+
+Because routing here is oblivious, a (source, destination) pair determines a
+unique path; :class:`RoutingAlgorithm` materialises, validates and caches
+those paths, and every higher layer (CDG construction, simulator, model
+checker, property checkers) consumes them through this one interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Final
+
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class RoutingError(RuntimeError):
+    """Raised when a routing function is undefined, inconsistent or divergent."""
+
+
+class _InjectSentinel:
+    """Sentinel 'input channel' for a message being injected at its source."""
+
+    _instance: "_InjectSentinel | None" = None
+
+    def __new__(cls) -> "_InjectSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<INJECT>"
+
+
+INJECT: Final = _InjectSentinel()
+
+
+class RoutingFunction(ABC):
+    """Abstract oblivious routing function ``R: C x N -> C``.
+
+    Subclasses implement :meth:`route`.  ``in_channel`` is :data:`INJECT`
+    when the message is being injected at ``node``; otherwise
+    ``in_channel.dst == node`` holds.
+    """
+
+    #: set by subclasses whose output genuinely ignores ``in_channel``
+    #: (the ``N x N -> C`` form of Corollary 1).  The property checker
+    #: verifies the claim rather than trusting it.
+    input_channel_independent: bool = False
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    @abstractmethod
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        """Return the output channel for a header at ``node`` heading to ``dest``.
+
+        Must raise :class:`RoutingError` when no route is defined.  Never
+        called with ``node == dest`` (the message is consumed there).
+        """
+
+    # convenience --------------------------------------------------------
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name()} on {self.network.name!r}>"
+
+
+class RoutingAlgorithm:
+    """Path view of an oblivious routing function (paper Definition 3).
+
+    Parameters
+    ----------
+    fn:
+        The routing function.
+    max_hops:
+        Divergence guard: a path longer than this raises
+        :class:`RoutingError` (nonminimal algorithms are allowed, infinite
+        ones are not).  Defaults to ``4 * num_channels``, which any sane
+        path respects since revisiting a channel would loop forever under
+        oblivious routing.
+    """
+
+    def __init__(self, fn: RoutingFunction, *, max_hops: int | None = None) -> None:
+        self.fn = fn
+        self.network = fn.network
+        self.max_hops = max_hops if max_hops is not None else 4 * max(1, self.network.num_channels)
+        self._path_cache: dict[tuple[NodeId, NodeId], tuple[Channel, ...]] = {}
+
+    def path(self, src: NodeId, dst: NodeId) -> tuple[Channel, ...]:
+        """The unique channel path from ``src`` to ``dst``.
+
+        Raises :class:`RoutingError` on undefined routes, on a path that
+        leaves the network inconsistent (channel endpoints do not chain), on
+        channel revisits (which would make the oblivious function loop), and
+        on divergence past ``max_hops``.
+        """
+        if src == dst:
+            raise RoutingError(f"no path requested from a node to itself ({src!r})")
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+
+        path: list[Channel] = []
+        seen: set[int] = set()
+        in_ch: Channel | _InjectSentinel = INJECT
+        node = src
+        while node != dst:
+            if len(path) > self.max_hops:
+                raise RoutingError(
+                    f"{self.fn.name()}: path {src!r}->{dst!r} exceeded {self.max_hops} hops"
+                )
+            out = self.fn.route(in_ch, node, dst)
+            if out.src != node:
+                raise RoutingError(
+                    f"{self.fn.name()}: routed onto {out!r} whose source is not {node!r}"
+                )
+            if out.cid in seen:
+                raise RoutingError(
+                    f"{self.fn.name()}: path {src!r}->{dst!r} revisits channel {out!r}; "
+                    "an oblivious function would loop forever"
+                )
+            seen.add(out.cid)
+            path.append(out)
+            in_ch = out
+            node = out.dst
+        result = tuple(path)
+        self._path_cache[key] = result
+        return result
+
+    def try_path(self, src: NodeId, dst: NodeId) -> tuple[Channel, ...] | None:
+        """Like :meth:`path` but returns ``None`` instead of raising."""
+        try:
+            return self.path(src, dst)
+        except RoutingError:
+            return None
+
+    def all_pairs_paths(self) -> dict[tuple[NodeId, NodeId], tuple[Channel, ...]]:
+        """Materialise paths for every ordered node pair (used by the CDG)."""
+        out: dict[tuple[NodeId, NodeId], tuple[Channel, ...]] = {}
+        for s in self.network.nodes:
+            for d in self.network.nodes:
+                if s != d:
+                    out[(s, d)] = self.path(s, d)
+        return out
+
+    def hops(self, src: NodeId, dst: NodeId) -> int:
+        return len(self.path(src, dst))
+
+    def clear_cache(self) -> None:
+        self._path_cache.clear()

@@ -1,0 +1,58 @@
+"""Dimension-order (e-cube / XY) routing on meshes.
+
+The canonical deadlock-free oblivious baseline: correct the lowest dimension
+first, then the next, and so on.  Its channel dependency graph is acyclic
+(Dally--Seitz), it is minimal, suffix-closed, prefix-closed and coherent --
+the class of algorithms for which the paper's Corollaries 2/3 show
+unreachable configurations are impossible.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class _DimensionOrderMesh(RoutingFunction):
+    input_channel_independent = True
+
+    def __init__(self, network: Network, ndims: int, *, vc: int = 0) -> None:
+        super().__init__(network)
+        self.ndims = ndims
+        self.vc = vc
+
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        cur = node
+        tgt = dest
+        if not isinstance(cur, tuple) or not isinstance(tgt, tuple):
+            raise RoutingError("dimension-order routing requires coordinate-tuple node ids")
+        for axis in range(self.ndims):
+            if cur[axis] == tgt[axis]:
+                continue
+            step = 1 if tgt[axis] > cur[axis] else -1
+            nxt = list(cur)
+            nxt[axis] += step
+            nxt_t = tuple(nxt)
+            options = [c for c in self.network.channels_between(cur, nxt_t) if c.vc == self.vc]
+            if not options:
+                raise RoutingError(
+                    f"mesh link {cur!r}->{nxt_t!r} (vc={self.vc}) missing; "
+                    "was the network built by repro.topology.mesh?"
+                )
+            return options[0]
+        raise RoutingError(f"route() called with node == dest == {cur!r}")
+
+    def name(self) -> str:
+        return f"DOR-mesh{self.ndims}d"
+
+
+def dimension_order_mesh(network: Network, ndims: int, *, vc: int = 0) -> _DimensionOrderMesh:
+    """Dimension-order routing function for an ``ndims``-dimensional mesh.
+
+    ``network`` must use coordinate-tuple node ids with unit-step links, as
+    produced by :func:`repro.topology.mesh`.
+    """
+    if ndims < 1:
+        raise ValueError("ndims must be >= 1")
+    return _DimensionOrderMesh(network, ndims, vc=vc)

@@ -1,0 +1,47 @@
+"""E-cube routing on binary hypercubes.
+
+Correct the lowest differing address bit first.  Minimal, coherent, acyclic
+CDG -- the hypercube counterpart of dimension-order mesh routing, used in
+the Corollary 2/3 baseline sweep and the CDG scaling benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class _ECubeHypercube(RoutingFunction):
+    input_channel_independent = True
+
+    def __init__(self, network: Network, dim: int, *, vc: int = 0) -> None:
+        super().__init__(network)
+        self.dim = dim
+        self.vc = vc
+
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        if not isinstance(node, int) or not isinstance(dest, int):
+            raise RoutingError("e-cube routing requires integer node ids")
+        diff = node ^ dest
+        if diff == 0:
+            raise RoutingError(f"route() called with node == dest == {node!r}")
+        bit = (diff & -diff).bit_length() - 1  # lowest set bit
+        nxt = node ^ (1 << bit)
+        options = [c for c in self.network.channels_between(node, nxt) if c.vc == self.vc]
+        if not options:
+            raise RoutingError(
+                f"hypercube link {node!r}->{nxt!r} (vc={self.vc}) missing; "
+                "was the network built by repro.topology.hypercube?"
+            )
+        return options[0]
+
+    def name(self) -> str:
+        return f"ecube-h{self.dim}"
+
+
+def ecube_hypercube(network: Network, dim: int, *, vc: int = 0) -> _ECubeHypercube:
+    """E-cube routing function for a ``dim``-dimensional binary hypercube."""
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    return _ECubeHypercube(network, dim, vc=vc)

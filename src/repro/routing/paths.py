@@ -1,0 +1,80 @@
+"""Channel-path helpers shared by the routing, CDG and analysis layers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+def path_is_contiguous(path: Sequence[Channel]) -> bool:
+    """True iff consecutive channels chain (``path[i].dst == path[i+1].src``)."""
+    return all(a.dst == b.src for a, b in zip(path, path[1:]))
+
+
+def path_nodes(path: Sequence[Channel]) -> list[NodeId]:
+    """Node sequence visited by ``path`` (length ``len(path) + 1``)."""
+    if not path:
+        return []
+    nodes = [path[0].src]
+    nodes.extend(ch.dst for ch in path)
+    return nodes
+
+
+def validate_path(
+    network: Network,
+    path: Sequence[Channel],
+    src: NodeId,
+    dst: NodeId,
+    *,
+    allow_node_revisit: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``path`` is a well-formed ``src -> dst`` walk.
+
+    ``allow_node_revisit=False`` additionally enforces the no-repeated-node
+    requirement of coherent routing (Definition 9).  Channel revisits are
+    always rejected: under oblivious routing they imply an infinite loop.
+    """
+    if not path:
+        raise ValueError("empty path")
+    for ch in path:
+        if ch not in network:
+            raise ValueError(f"channel {ch!r} does not belong to network {network.name!r}")
+    if path[0].src != src:
+        raise ValueError(f"path starts at {path[0].src!r}, expected {src!r}")
+    if path[-1].dst != dst:
+        raise ValueError(f"path ends at {path[-1].dst!r}, expected {dst!r}")
+    if not path_is_contiguous(path):
+        raise ValueError("path channels do not chain end-to-end")
+    cids = [ch.cid for ch in path]
+    if len(set(cids)) != len(cids):
+        raise ValueError("path revisits a channel (oblivious routing would loop)")
+    if not allow_node_revisit:
+        nodes = path_nodes(path)
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("path revisits a node (violates coherence requirement)")
+
+
+def first_occurrence_prefix(path: Sequence[Channel], node: NodeId) -> tuple[Channel, ...]:
+    """The prefix of ``path`` up to the *first* visit of ``node``.
+
+    Used by the prefix-closure check (Definition 7, which is stated in terms
+    of the first occurrence of the intermediate node).
+    """
+    if path and path[0].src == node:
+        return ()
+    for i, ch in enumerate(path):
+        if ch.dst == node:
+            return tuple(path[: i + 1])
+    raise ValueError(f"node {node!r} is not on the path")
+
+
+def suffix_from(path: Sequence[Channel], node: NodeId) -> tuple[Channel, ...]:
+    """The suffix of ``path`` from the *first* visit of ``node`` onward."""
+    if path and path[0].src == node:
+        return tuple(path)
+    for i, ch in enumerate(path):
+        if ch.dst == node:
+            return tuple(path[i + 1 :])
+    raise ValueError(f"node {node!r} is not on the path")

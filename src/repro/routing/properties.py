@@ -1,0 +1,216 @@
+"""Routing-algorithm property checkers (paper Definitions 7--9 and friends).
+
+These checks drive the corollary experiments:
+
+* **prefix-closed** (Def. 7): the specified path from ``s`` to ``d`` through
+  ``w`` implies the algorithm specifies the partial path from ``s`` to the
+  *first occurrence* of ``w``.
+* **suffix-closed** (Def. 8): the path from ``s`` to ``d`` through ``w``
+  implies the algorithm specifies the partial path from ``w`` to ``d`` when
+  ``w`` is the source.  Corollary 2: suffix-closed oblivious algorithms have
+  no unreachable configurations.
+* **coherent** (Def. 9): prefix-closed + suffix-closed + never routes a
+  message through the same node twice.  Corollary 3.
+* **input-channel independent**: the routing function has the restricted
+  form ``R: N x N -> C``.  Corollary 1.
+* **minimal / connected**: standard.
+
+All checkers work over a chosen set of (source, destination) pairs -- the
+paper's figure networks only define routes for the pairs the construction
+uses, so the domain matters.  By default the domain is every pair the
+algorithm defines (``TableRouting.defined_pairs``) or all ordered node pairs
+for full-coverage algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.routing.base import INJECT, RoutingAlgorithm, RoutingError
+from repro.routing.paths import first_occurrence_prefix, path_nodes, suffix_from
+from repro.routing.table import TableRouting
+from repro.topology.channels import NodeId
+
+Pair = tuple[NodeId, NodeId]
+
+
+def _domain(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None) -> list[Pair]:
+    if pairs is not None:
+        return list(pairs)
+    if isinstance(alg.fn, TableRouting):
+        return alg.fn.defined_pairs()
+    nodes = alg.network.nodes
+    return [(s, d) for s in nodes for d in nodes if s != d]
+
+
+def is_connected(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """True iff every pair in the domain has a defined, terminating path."""
+    return all(alg.try_path(s, d) is not None for s, d in _domain(alg, pairs))
+
+
+def is_minimal(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """True iff every defined path is a shortest path in the network."""
+    spl = alg.network.shortest_path_lengths()
+    for s, d in _domain(alg, pairs):
+        path = alg.try_path(s, d)
+        if path is None or len(path) != spl[s][d]:
+            return False
+    return True
+
+
+def minimality_slack(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> dict[Pair, int]:
+    """Per-pair excess hops over the shortest path (0 everywhere iff minimal)."""
+    spl = alg.network.shortest_path_lengths()
+    out: dict[Pair, int] = {}
+    for s, d in _domain(alg, pairs):
+        path = alg.path(s, d)
+        out[(s, d)] = len(path) - spl[s][d]
+    return out
+
+
+def _closure_violations(
+    alg: RoutingAlgorithm,
+    pairs: Sequence[Pair] | None,
+    *,
+    kind: str,
+) -> list[tuple[Pair, NodeId, str]]:
+    """Shared engine for prefix/suffix closure.
+
+    Returns a list of ``((s, d), w, reason)`` violations.  An intermediate
+    pair whose route is undefined counts as a violation: Definitions 7/8
+    require the algorithm to *specify* the partial path.
+    """
+    violations: list[tuple[Pair, NodeId, str]] = []
+    for s, d in _domain(alg, pairs):
+        path = alg.try_path(s, d)
+        if path is None:
+            violations.append(((s, d), s, "pair undefined"))
+            continue
+        nodes = path_nodes(path)
+        # intermediate nodes, first occurrences only, excluding endpoints
+        seen: set[NodeId] = {s}
+        for w in nodes[1:-1]:
+            if w in seen:
+                continue
+            seen.add(w)
+            if kind == "prefix":
+                expected = first_occurrence_prefix(path, w)
+                actual = alg.try_path(s, w)
+            else:
+                expected = suffix_from(path, w)
+                actual = alg.try_path(w, d)
+            if actual is None:
+                violations.append(((s, d), w, "partial path undefined"))
+            elif tuple(actual) != tuple(expected):
+                violations.append(((s, d), w, "partial path differs"))
+    return violations
+
+
+def is_prefix_closed(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """Definition 7."""
+    return not _closure_violations(alg, pairs, kind="prefix")
+
+
+def is_suffix_closed(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """Definition 8."""
+    return not _closure_violations(alg, pairs, kind="suffix")
+
+
+def never_revisits_nodes(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """True iff no defined path visits any node twice."""
+    for s, d in _domain(alg, pairs):
+        path = alg.try_path(s, d)
+        if path is None:
+            return False
+        nodes = path_nodes(path)
+        if len(set(nodes)) != len(nodes):
+            return False
+    return True
+
+
+def is_coherent(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
+    """Definition 9: prefix-closed, suffix-closed, never revisits a node."""
+    return (
+        never_revisits_nodes(alg, pairs)
+        and is_prefix_closed(alg, pairs)
+        and is_suffix_closed(alg, pairs)
+    )
+
+
+def is_input_channel_independent(
+    alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None
+) -> bool:
+    """True iff the function behaves as ``R: N x N -> C`` over the domain.
+
+    Checked empirically: for every node ``n`` and destination ``d`` reached
+    through ``n`` on some defined path, all input channels that actually
+    occur (including injection when ``(n, d)`` is itself defined) must yield
+    the same output channel.  This verifies the Corollary 1 hypothesis
+    instead of trusting a subclass flag.
+    """
+    # (node, dest) -> set of output channel ids observed
+    observed: dict[tuple[NodeId, NodeId], set[int]] = {}
+    domain = _domain(alg, pairs)
+    defined = set(domain)
+    for s, d in domain:
+        path = alg.try_path(s, d)
+        if path is None:
+            continue
+        first = path[0]
+        observed.setdefault((s, d), set()).add(first.cid)
+        for a, b in zip(path, path[1:]):
+            observed.setdefault((a.dst, d), set()).add(b.cid)
+    # injection at intermediate nodes: if (w, d) is defined, its first hop
+    # must agree with the through-traffic hop at w toward d.
+    for (w, d), outs in list(observed.items()):
+        if (w, d) in defined:
+            p = alg.try_path(w, d)
+            if p is not None:
+                outs.add(p[0].cid)
+    return all(len(outs) <= 1 for outs in observed.values())
+
+
+@dataclass
+class RoutingProperties:
+    """Bundle of the paper-relevant properties of one routing algorithm."""
+
+    name: str
+    connected: bool
+    minimal: bool
+    prefix_closed: bool
+    suffix_closed: bool
+    coherent: bool
+    input_channel_independent: bool
+    node_revisit_free: bool
+    domain_size: int
+    notes: list[str] = field(default_factory=list)
+
+    def summary_row(self) -> dict[str, object]:
+        return {
+            "algorithm": self.name,
+            "connected": self.connected,
+            "minimal": self.minimal,
+            "prefix-closed": self.prefix_closed,
+            "suffix-closed": self.suffix_closed,
+            "coherent": self.coherent,
+            "NxN->C form": self.input_channel_independent,
+        }
+
+
+def analyze_properties(
+    alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None
+) -> RoutingProperties:
+    """Evaluate every property checker and return the bundle."""
+    domain = _domain(alg, pairs)
+    return RoutingProperties(
+        name=alg.fn.name(),
+        connected=is_connected(alg, domain),
+        minimal=is_minimal(alg, domain),
+        prefix_closed=is_prefix_closed(alg, domain),
+        suffix_closed=is_suffix_closed(alg, domain),
+        coherent=is_coherent(alg, domain),
+        input_channel_independent=is_input_channel_independent(alg, domain),
+        node_revisit_free=never_revisits_nodes(alg, domain),
+        domain_size=len(domain),
+    )

@@ -1,0 +1,47 @@
+"""Unrestricted clockwise routing on a unidirectional ring.
+
+The textbook *deadlock-prone* oblivious algorithm: every message follows the
+single clockwise ring with one virtual channel, so the channel dependency
+graph is exactly the ring cycle.  Because the routing function has the
+restricted form ``N x N -> C`` (Corollary 1), the paper proves this cycle
+can never be a false resource cycle -- and indeed the simulator produces a
+real deadlock from it.  Used as the positive control in the Theorem 2 /
+Corollary experiments and the simulator-validation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class _ClockwiseRing(RoutingFunction):
+    input_channel_independent = True
+
+    def __init__(self, network: Network, n: int, *, vc: int = 0) -> None:
+        super().__init__(network)
+        self.n = n
+        self.vc = vc
+
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        if not isinstance(node, int):
+            raise RoutingError("ring routing requires integer node ids")
+        nxt = (node + 1) % self.n
+        options = [c for c in self.network.channels_between(node, nxt) if c.vc == self.vc]
+        if not options:
+            raise RoutingError(
+                f"ring link {node!r}->{nxt!r} (vc={self.vc}) missing; build the "
+                "network with repro.topology.ring"
+            )
+        return options[0]
+
+    def name(self) -> str:
+        return f"cw-ring{self.n}"
+
+
+def clockwise_ring(network: Network, n: int, *, vc: int = 0) -> _ClockwiseRing:
+    """Clockwise routing function for a ring built by :func:`repro.topology.ring`."""
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    return _ClockwiseRing(network, n, vc=vc)

@@ -1,0 +1,60 @@
+"""Dally--Seitz dateline routing on k-ary n-cubes (tori).
+
+The classic 1987 construction: route dimensions in increasing order; inside
+each dimension travel the unidirectional ``+`` ring, starting on virtual
+channel 1 and switching to virtual channel 0 after crossing the dateline
+(the wraparound link into coordinate 0).  The resulting channel dependency
+graph is acyclic, making this the canonical "break the ring cycle with
+virtual channels" baseline that the paper's introduction contrasts with.
+
+Unidirectional per-dimension rings make the algorithm nonminimal for pairs
+that would be closer the other way; that matches the original Dally--Seitz
+e-cube torus formulation and keeps the VC discipline simple.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+
+class _DatelineTorus(RoutingFunction):
+    input_channel_independent = True
+
+    def __init__(self, network: Network, dims: tuple[int, ...]) -> None:
+        super().__init__(network)
+        self.dims = dims
+
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        if not isinstance(node, tuple) or not isinstance(dest, tuple):
+            raise RoutingError("dateline torus routing requires coordinate-tuple node ids")
+        for axis, size in enumerate(self.dims):
+            i, j = node[axis], dest[axis]
+            if i == j:
+                continue
+            nxt = list(node)
+            nxt[axis] = (i + 1) % size
+            nxt_t = tuple(nxt)
+            # Dateline discipline: VC1 while the wrap into coordinate 0 is
+            # still ahead (i > j), VC0 once past it (i < j).
+            vc = 1 if i > j else 0
+            options = [c for c in self.network.channels_between(node, nxt_t) if c.vc == vc]
+            if not options:
+                raise RoutingError(
+                    f"torus link {node!r}->{nxt_t!r} (vc={vc}) missing; build the "
+                    "network with repro.topology.torus(dims, vcs=2)"
+                )
+            return options[0]
+        raise RoutingError(f"route() called with node == dest == {node!r}")
+
+    def name(self) -> str:
+        return "dateline-torus" + "x".join(map(str, self.dims))
+
+
+def dateline_torus(network: Network, dims: tuple[int, ...] | list[int]) -> _DatelineTorus:
+    """Dateline 2-VC routing function for a torus built by :func:`repro.topology.torus`."""
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise ValueError("dims must be non-empty")
+    return _DatelineTorus(network, dims)

@@ -1,0 +1,83 @@
+"""Oblivious selections inside the Glass--Ni turn model (2-D mesh).
+
+The turn model (Glass & Ni, ISCA '92) proves deadlock freedom for partially
+adaptive mesh routing by prohibiting just enough turns to break every cycle
+of turns.  Here we implement deterministic *oblivious* members of three turn
+model families -- each message takes one fixed path that only uses permitted
+turns, so the resulting oblivious algorithm inherits the family's acyclic
+channel dependency graph:
+
+* **west-first**: all west (``x-``) hops first, then vertical, then east.
+* **north-last**: horizontal hops first, then south, with north (``y+``)
+  hops last.
+* **negative-first**: all negative-direction hops first (``x-`` then
+  ``y-``), then positive (``x+`` then ``y+``).
+
+All three are minimal, coherent and input-channel independent -- useful
+contrast points for the paper's corollaries (no unreachable cycles possible)
+and alternative baselines in the traffic benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
+from repro.topology.channels import Channel, NodeId
+from repro.topology.network import Network
+
+# Each policy is an ordered list of "phases"; a phase is (axis, direction)
+# and the router takes hops of the earliest phase that still has distance
+# to cover.  Phase order is what encodes the turn restrictions.
+_POLICIES: dict[str, tuple[tuple[int, int], ...]] = {
+    "west-first": ((0, -1), (1, -1), (1, +1), (0, +1)),
+    "north-last": ((0, -1), (0, +1), (1, -1), (1, +1)),
+    "negative-first": ((0, -1), (1, -1), (0, +1), (1, +1)),
+}
+
+
+class _TurnModelMesh(RoutingFunction):
+    input_channel_independent = True
+
+    def __init__(self, network: Network, policy: str, *, vc: int = 0) -> None:
+        super().__init__(network)
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown turn-model policy {policy!r}")
+        self.policy = policy
+        self.phases = _POLICIES[policy]
+        self.vc = vc
+
+    def route(self, in_channel: Channel | _InjectSentinel, node: NodeId, dest: NodeId) -> Channel:
+        if not isinstance(node, tuple) or not isinstance(dest, tuple) or len(node) != 2:
+            raise RoutingError("turn-model routing requires 2-D coordinate-tuple node ids")
+        for axis, direction in self.phases:
+            delta = dest[axis] - node[axis]
+            if delta * direction > 0:
+                nxt = list(node)
+                nxt[axis] += direction
+                nxt_t = tuple(nxt)
+                options = [
+                    c for c in self.network.channels_between(node, nxt_t) if c.vc == self.vc
+                ]
+                if not options:
+                    raise RoutingError(
+                        f"mesh link {node!r}->{nxt_t!r} (vc={self.vc}) missing"
+                    )
+                return options[0]
+        raise RoutingError(f"route() called with node == dest == {node!r}")
+
+    def name(self) -> str:
+        return f"{self.policy}-mesh"
+
+
+def west_first_mesh(network: Network, *, vc: int = 0) -> _TurnModelMesh:
+    """Deterministic west-first routing on a 2-D mesh."""
+    return _TurnModelMesh(network, "west-first", vc=vc)
+
+
+def north_last_mesh(network: Network, *, vc: int = 0) -> _TurnModelMesh:
+    """Deterministic north-last routing on a 2-D mesh."""
+    return _TurnModelMesh(network, "north-last", vc=vc)
+
+
+def negative_first_mesh(network: Network, *, vc: int = 0) -> _TurnModelMesh:
+    """Deterministic negative-first routing on a 2-D mesh."""
+    return _TurnModelMesh(network, "negative-first", vc=vc)

@@ -1,0 +1,44 @@
+"""Event tracing utilities for debugging and test assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceRecorder:
+    """Collects ``(cycle, kind, data)`` events emitted by the engine.
+
+    Pass ``recorder`` (it is callable) as the ``trace=`` argument of
+    :class:`~repro.sim.engine.Simulator`.
+    """
+
+    events: list[tuple[int, str, dict]] = field(default_factory=list)
+
+    def __call__(self, cycle: int, kind: str, data: dict) -> None:
+        self.events.append((cycle, kind, dict(data)))
+
+    def of_kind(self, kind: str) -> list[tuple[int, str, dict]]:
+        return [e for e in self.events if e[1] == kind]
+
+    def for_message(self, mid: int) -> list[tuple[int, str, dict]]:
+        return [e for e in self.events if e[2].get("mid") == mid]
+
+    def first(self, kind: str, mid: int) -> int | None:
+        """Cycle of the first ``kind`` event for message ``mid``."""
+        for cycle, k, data in self.events:
+            if k == kind and data.get("mid") == mid:
+                return cycle
+        return None
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def render(self, *, limit: int = 200) -> str:
+        """Human-readable trace dump (for failed-test diagnostics)."""
+        lines = [
+            f"t={cycle:<5} {kind:<16} {data}" for cycle, kind, data in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

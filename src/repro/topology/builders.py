@@ -1,0 +1,157 @@
+"""Builders for the standard topologies used by baselines and experiments.
+
+Node-id conventions
+-------------------
+* ``ring(n)``      -- nodes are ints ``0..n-1``.
+* ``mesh(dims)``   -- nodes are coordinate tuples, e.g. ``(x, y)``.
+* ``torus(dims)``  -- coordinate tuples; wrap links carry ``wrap`` in label.
+* ``hypercube(d)`` -- nodes are ints whose binary expansion is the corner.
+* ``star(...)``    -- hub-and-spoke; used as the scaffolding of the paper's
+  Figure 1 network (the hub ``N*`` has a direct link to every node).
+
+Each builder labels channels systematically so experiments can reference
+specific channels by name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.topology.channels import NodeId
+from repro.topology.network import Network
+
+
+def ring(n: int, *, bidirectional: bool = False, vcs: int = 1, name: str | None = None) -> Network:
+    """Unidirectional (default) or bidirectional ring of ``n`` nodes.
+
+    The unidirectional ring with a single VC is the canonical network whose
+    only shortest-path routing has a cyclic channel dependency graph and a
+    *reachable* deadlock -- the textbook contrast to the paper's false
+    resource cycle.
+    """
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    if vcs < 1:
+        raise ValueError("vcs must be >= 1")
+    net = Network(name or f"ring{n}" + ("-bi" if bidirectional else ""))
+    for i in range(n):
+        net.add_node(i)
+    for i in range(n):
+        j = (i + 1) % n
+        for v in range(vcs):
+            net.add_channel(i, j, vc=v, label=f"cw{i}" + (f".{v}" if vcs > 1 else ""))
+    if bidirectional:
+        for i in range(n):
+            j = (i - 1) % n
+            for v in range(vcs):
+                net.add_channel(i, j, vc=v, label=f"ccw{i}" + (f".{v}" if vcs > 1 else ""))
+    return net
+
+
+def mesh(dims: Sequence[int], *, vcs: int = 1, name: str | None = None) -> Network:
+    """k-ary n-dimensional mesh with bidirectional links, no wraparound."""
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("each mesh dimension must be >= 2")
+    net = Network(name or "mesh" + "x".join(map(str, dims)))
+    for coord in itertools.product(*(range(d) for d in dims)):
+        net.add_node(coord)
+    for coord in itertools.product(*(range(d) for d in dims)):
+        for axis, size in enumerate(dims):
+            if coord[axis] + 1 < size:
+                nxt = list(coord)
+                nxt[axis] += 1
+                nxt = tuple(nxt)
+                for v in range(vcs):
+                    sfx = f".{v}" if vcs > 1 else ""
+                    net.add_channel(coord, nxt, vc=v, label=f"d{axis}+{coord}{sfx}")
+                    net.add_channel(nxt, coord, vc=v, label=f"d{axis}-{nxt}{sfx}")
+    return net
+
+
+def torus(dims: Sequence[int], *, vcs: int = 2, name: str | None = None) -> Network:
+    """k-ary n-cube (torus) with bidirectional links and ``vcs`` VCs per link.
+
+    The default of two virtual channels matches the Dally--Seitz dateline
+    scheme implemented in :mod:`repro.routing.torus_vc`.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("each torus dimension must be >= 2")
+    if vcs < 1:
+        raise ValueError("vcs must be >= 1")
+    net = Network(name or "torus" + "x".join(map(str, dims)))
+    for coord in itertools.product(*(range(d) for d in dims)):
+        net.add_node(coord)
+    for coord in itertools.product(*(range(d) for d in dims)):
+        for axis, size in enumerate(dims):
+            nxt = list(coord)
+            nxt[axis] = (coord[axis] + 1) % size
+            nxt = tuple(nxt)
+            wrap = "w" if coord[axis] + 1 == size else ""
+            for v in range(vcs):
+                net.add_channel(coord, nxt, vc=v, label=f"d{axis}+{wrap}{coord}.{v}")
+                net.add_channel(nxt, coord, vc=v, label=f"d{axis}-{wrap}{nxt}.{v}")
+    return net
+
+
+def hypercube(d: int, *, vcs: int = 1, name: str | None = None) -> Network:
+    """Binary d-cube with bidirectional links; nodes are ints ``0..2^d-1``."""
+    if d < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    net = Network(name or f"hcube{d}")
+    n = 1 << d
+    for i in range(n):
+        net.add_node(i)
+    for i in range(n):
+        for bit in range(d):
+            j = i ^ (1 << bit)
+            if j > i:
+                for v in range(vcs):
+                    sfx = f".{v}" if vcs > 1 else ""
+                    net.add_channel(i, j, vc=v, label=f"b{bit}+{i}{sfx}")
+                    net.add_channel(j, i, vc=v, label=f"b{bit}-{j}{sfx}")
+    return net
+
+
+def star(
+    hub: NodeId,
+    leaves: Iterable[NodeId],
+    *,
+    bidirectional: bool = True,
+    name: str | None = None,
+) -> Network:
+    """Hub-and-spoke network: ``hub`` connected to every leaf.
+
+    This is the relay backbone of the paper's Figure 1 network: every
+    ordinary message routes source -> hub (``N*``) -> destination.
+    """
+    net = Network(name or "star")
+    net.add_node(hub)
+    count = 0
+    for leaf in leaves:
+        count += 1
+        net.add_channel(hub, leaf, label=f"hub->{leaf}")
+        if bidirectional:
+            net.add_channel(leaf, hub, label=f"{leaf}->hub")
+    if count == 0:
+        raise ValueError("star needs at least one leaf")
+    return net
+
+
+def from_edges(
+    edges: Iterable[tuple[NodeId, NodeId]],
+    *,
+    bidirectional: bool = False,
+    name: str = "custom",
+) -> Network:
+    """Build a network from an edge list (one channel per directed pair)."""
+    net = Network(name)
+    for a, b in edges:
+        net.add_channel(a, b)
+        if bidirectional:
+            net.add_channel(b, a)
+    if net.num_channels == 0:
+        raise ValueError("edge list is empty")
+    return net

@@ -1,0 +1,28 @@
+"""Text and Graphviz-DOT rendering of networks, CDGs and witnesses.
+
+No plotting dependencies: everything renders to strings -- DOT for
+``graphviz``/``xdot`` consumption, plain text for terminals and test
+assertions.
+
+Public API
+----------
+:func:`network_to_dot`   -- the interconnection network as a DOT digraph.
+:func:`cdg_to_dot`       -- the channel dependency graph, cycle edges
+                            highlighted.
+:func:`witness_timeline` -- a space-time text diagram of a deadlock witness.
+:func:`occupancy_snapshot` -- which message holds which channel, from a
+                            simulator or a checker state.
+"""
+
+from repro.viz.dot import network_to_dot, cdg_to_dot
+from repro.viz.timeline import witness_timeline, occupancy_snapshot
+from repro.viz.chart import ascii_chart, bar_chart
+
+__all__ = [
+    "network_to_dot",
+    "cdg_to_dot",
+    "witness_timeline",
+    "occupancy_snapshot",
+    "ascii_chart",
+    "bar_chart",
+]

@@ -1,0 +1,56 @@
+"""Terminal-friendly ASCII charts (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def ascii_chart(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 56,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Scatter/line plot of (x, y) points as monospace text.
+
+    Intended for experiment output (latency vs load, delay vs m) where a
+    shape at a glance beats a table.  Values are min-max scaled; degenerate
+    ranges render on a single row/column.
+    """
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = marker
+    lines = [f"{y_label} ({y0:g} .. {y1:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x0:g} .. {x1:g}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float], *, width: int = 40, fill: str = "#"
+) -> str:
+    """Horizontal bar chart for labelled quantities (e.g. utilization)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = []
+    for k, v in values.items():
+        bar = fill * max(0, int(v / peak * width))
+        lines.append(f"{str(k).ljust(label_w)} |{bar} {v:g}")
+    return "\n".join(lines)

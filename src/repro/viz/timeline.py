@@ -1,0 +1,64 @@
+"""Space-time text diagrams of deadlock formation."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.reachability import Witness
+from repro.topology.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+_ACTION_GLYPH = {
+    "wait": ".",
+    "try": "I",
+    "adv": ">",
+    "stall": "S",
+    "freeze": "#",
+    "lose": "x",
+    "drain": "d",
+    "done": " ",
+}
+
+
+def witness_timeline(witness: Witness) -> str:
+    """One row per message, one column per cycle; glyphs per action.
+
+    ``I`` inject, ``>`` advance, ``S`` stall (budget spent), ``#`` frozen
+    (blocked), ``x`` lost arbitration, ``d`` draining, ``.`` waiting to
+    inject.  The rightmost column is the deadlock state.
+    """
+    tags = [m.tag or f"msg{i}" for i, m in enumerate(witness.spec.messages)]
+    width = max(len(t) for t in tags)
+    header = " " * (width + 2) + "".join(
+        f"{t % 10}" for t in range(witness.num_cycles)
+    )
+    lines = [header]
+    for i, tag in enumerate(tags):
+        row = "".join(
+            _ACTION_GLYPH.get(actions[i], "?") for actions in witness.steps
+        )
+        marker = "*" if i in witness.deadlocked else " "
+        lines.append(f"{tag.ljust(width)} {marker}{row}")
+    lines.append(
+        "legend: I inject  > advance  S stall  # frozen  x lost-arb  "
+        "d drain  . waiting   (* = on the deadlock cycle)"
+    )
+    return "\n".join(lines)
+
+
+def occupancy_snapshot(sim: "Simulator", *, only_owned: bool = True) -> str:
+    """Which message owns which channel right now, one line per channel."""
+    lines = [f"cycle {sim.cycle}:"]
+    for ch in sim.network.channels:
+        q = sim.queue_of(ch)
+        if q.owner is None and only_owned:
+            continue
+        owner = "-" if q.owner is None else sim.messages[q.owner].spec.display()
+        flits = len(q.queue)
+        lines.append(f"  {ch.short():<20} owner={owner:<8} flits={flits}")
+    if len(lines) == 1:
+        lines.append("  (all channels free)")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Adaptive routing extension tests (Duato's setting, Section 2/7 context)."""
+
+import pytest
+
+from repro.cdg.adaptive import build_adaptive_cdg, duato_certificate
+from repro.cdg.analysis import is_acyclic
+from repro.routing.adaptive import FullyAdaptiveMesh, duato_escape_mesh
+from repro.routing.base import INJECT, RoutingError
+from repro.sim import MessageSpec, SimConfig, Simulator
+from repro.sim.traffic import uniform_random_traffic
+from repro.topology import mesh
+
+
+@pytest.fixture(scope="module")
+def mesh1vc():
+    return mesh((3, 3))
+
+
+@pytest.fixture(scope="module")
+def mesh2vc():
+    return mesh((3, 3), vcs=2)
+
+
+class TestCandidates:
+    def test_all_minimal_directions_offered(self, mesh1vc):
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        cands = fn.candidates(INJECT, (0, 0), (2, 2))
+        dsts = {c.dst for c in cands}
+        assert dsts == {(1, 0), (0, 1)}
+
+    def test_single_direction_when_aligned(self, mesh1vc):
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        cands = fn.candidates(INJECT, (0, 0), (0, 2))
+        assert [c.dst for c in cands] == [(0, 1)]
+
+    def test_route_returns_first_candidate(self, mesh1vc):
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        assert fn.route(INJECT, (0, 0), (2, 2)) is fn.candidates(INJECT, (0, 0), (2, 2))[0]
+
+    def test_no_candidates_at_destination(self, mesh1vc):
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        with pytest.raises(RoutingError):
+            fn.candidates(INJECT, (1, 1), (1, 1))
+
+    def test_escape_candidate_is_last(self, mesh2vc):
+        fn = duato_escape_mesh(mesh2vc, 2)
+        cands = fn.candidates(INJECT, (0, 0), (2, 2))
+        assert cands[-1].vc == 0  # the escape channel
+        assert all(c.vc == 1 for c in cands[:-1])
+
+
+class TestAdaptiveCDG:
+    def test_fully_adaptive_cdg_cyclic(self, mesh1vc):
+        cdg = build_adaptive_cdg(FullyAdaptiveMesh(mesh1vc, 2))
+        assert not is_acyclic(cdg)
+
+    def test_duato_certificate(self, mesh2vc):
+        cert = duato_certificate(duato_escape_mesh(mesh2vc, 2))
+        assert not cert.full_cdg_acyclic  # cycles exist in the full CDG ...
+        assert cert.escape_cdg_acyclic  # ... but the escape layer is clean
+        assert cert.escape_connected
+        assert cert.deadlock_free
+
+    def test_certificate_requires_escape(self, mesh1vc):
+        with pytest.raises(ValueError, match="escape"):
+            duato_certificate(FullyAdaptiveMesh(mesh1vc, 2))
+
+
+class TestAdaptiveSimulation:
+    def test_single_adaptive_message_delivered(self, mesh1vc):
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        res = Simulator(mesh1vc, fn, [MessageSpec(0, (0, 0), (2, 2), length=4)]).run()
+        assert res.completed
+        assert res.messages[0].latency() == 4 + 4 - 1
+
+    def test_adaptive_avoids_blocked_channel(self, mesh1vc):
+        """With the preferred direction held, the header takes the other."""
+        fn = FullyAdaptiveMesh(mesh1vc, 2)
+        # blocker parks a 30-flit message on (0,0)->(1,0), the probe's
+        # preferred (x-first) candidate
+        blocker = MessageSpec(0, (0, 0), (2, 0), length=30)
+        probe = MessageSpec(1, (0, 0), (1, 1), length=2, inject_time=2)
+        res = Simulator(mesh1vc, fn, [blocker, probe], config=SimConfig(max_cycles=200)).run()
+        # the probe must not wait for the blocker: it routes via (0,1)
+        assert res.messages[1].status.name == "DELIVERED"
+        assert res.messages[1].latency() <= 5
+
+    def test_or_knot_deadlock_detected(self):
+        """Adaptive OR deadlock: both VC alternatives of every link held.
+
+        A 4-ring with two VCs per link and an adaptive function offering
+        both VCs of the clockwise link; two long messages per source fill
+        both layers and form a knot (every candidate of every message is
+        held by another blocked message).
+        """
+        from repro.routing.adaptive import AdaptiveRoutingFunction
+        from repro.topology import ring
+
+        n = 4
+        net = ring(n, vcs=2)
+
+        class AdaptiveRing(AdaptiveRoutingFunction):
+            def candidates(self, in_channel, node, dest):
+                return self.network.channels_between(node, (node + 1) % n)
+
+            def name(self):
+                return "adaptive-ring"
+
+        specs = [
+            MessageSpec(2 * i + j, i, (i + 3) % n, length=6)
+            for i in range(n)
+            for j in range(2)
+        ]
+        res = Simulator(
+            net, AdaptiveRing(net), specs, config=SimConfig(max_cycles=500)
+        ).run()
+        assert res.deadlocked
+        assert res.deadlock.kind == "wait-for-cycle"  # knot found, not quiescence
+        assert len(res.deadlock.message_ids) >= 4
+
+    def test_or_semantics_not_fooled_by_single_blocked_alternative(self):
+        """Two messages blocked on each other's VC0 but with VC1 free must
+        NOT be reported as deadlocked."""
+        from repro.routing.adaptive import AdaptiveRoutingFunction
+        from repro.topology import ring
+
+        n = 4
+        net = ring(n, vcs=2)
+
+        class AdaptiveRing(AdaptiveRoutingFunction):
+            def candidates(self, in_channel, node, dest):
+                return self.network.channels_between(node, (node + 1) % n)
+
+        specs = [
+            MessageSpec(i, i, (i + 2) % n, length=6) for i in range(n)
+        ]  # only one message per source: the second VC layer stays free
+        res = Simulator(
+            net, AdaptiveRing(net), specs, config=SimConfig(max_cycles=500)
+        ).run()
+        assert not res.deadlocked
+        assert res.completed
+
+    def test_duato_escape_delivers_heavy_traffic(self, mesh2vc):
+        fn = duato_escape_mesh(mesh2vc, 2)
+        specs = uniform_random_traffic(mesh2vc, rate=0.3, cycles=40, length=4, seed=9)
+        res = Simulator(mesh2vc, fn, specs, config=SimConfig(max_cycles=20_000)).run()
+        assert not res.deadlocked
+        assert res.delivered == res.total
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_duato_escape_never_deadlocks(self, mesh2vc, seed):
+        fn = duato_escape_mesh(mesh2vc, 2)
+        specs = uniform_random_traffic(mesh2vc, rate=0.5, cycles=30, length=5, seed=seed)
+        res = Simulator(mesh2vc, fn, specs, config=SimConfig(max_cycles=30_000)).run()
+        assert not res.deadlocked
+        assert res.delivered == res.total

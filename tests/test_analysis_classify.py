@@ -1,0 +1,116 @@
+"""Cycle classification (classify_cycle / classify_configuration) tests."""
+
+import pytest
+
+from repro.analysis.classify import (
+    CycleTiling,
+    _cycle_runs,
+    classify_configuration,
+    classify_cycle,
+    enumerate_tilings,
+    messages_for_cycle,
+)
+from repro.cdg import build_cdg, find_cycles
+from repro.core.cyclic_dependency import build_cyclic_dependency_network
+from repro.routing import RoutingAlgorithm, clockwise_ring
+from repro.topology import ring
+
+
+@pytest.fixture(scope="module")
+def ring_setup():
+    net = ring(4)
+    alg = RoutingAlgorithm(clockwise_ring(net, 4))
+    cdg = build_cdg(alg)
+    cycle = find_cycles(cdg).cycles[0]
+    return alg, cycle
+
+
+class TestCycleRuns:
+    def test_full_run(self, ring_setup):
+        alg, cycle = ring_setup
+        path = alg.path(0, 3)
+        runs = _cycle_runs(cycle, path)
+        assert len(runs) == 1
+        assert runs[0][1] == 3
+
+    def test_empty_path_returns_empty(self, ring_setup):
+        _alg, cycle = ring_setup
+        assert _cycle_runs(cycle, []) == []
+
+    def test_non_cycle_channels_skipped(self):
+        """Approach channels of Fig. 1 do not contribute runs."""
+        cdn = build_cyclic_dependency_network()
+        alg = cdn.algorithm
+        path = alg.path(*cdn.message_pairs["M1"])
+        runs = _cycle_runs(tuple(cdn.cycle_channels), path)
+        assert len(runs) == 1
+        assert runs[0] == (0, 4)  # M1 enters at ring position 0, uses 4 channels
+
+
+class TestMessagesForCycle:
+    def test_all_pairs_intersect_ring_cycle(self, ring_setup):
+        alg, cycle = ring_setup
+        cands = messages_for_cycle(alg, cycle)
+        assert len(cands) == 12  # every ordered pair crosses the ring
+
+
+class TestEnumerateTilings:
+    def test_ring_has_tilings(self, ring_setup):
+        alg, cycle = ring_setup
+        cands = messages_for_cycle(alg, cycle)
+        tilings = enumerate_tilings(cycle, cands)
+        assert tilings
+        for t in tilings:
+            assert sum(t.held_lengths) == len(cycle)
+            assert len(set(t.pairs)) == len(t.pairs)
+
+    def test_empty_candidates(self, ring_setup):
+        _alg, cycle = ring_setup
+        assert enumerate_tilings(cycle, {}) == []
+
+
+class TestClassifyCycle:
+    def test_ring_cycle_is_reachable_deadlock(self, ring_setup):
+        alg, cycle = ring_setup
+        cls = classify_cycle(alg, cycle, length_slack=0, extra_copies=1)
+        assert cls.deadlock_reachable
+        assert not cls.is_false_resource_cycle
+        assert cls.tilings_tested >= 1
+
+    def test_fig1_cycle_is_false_resource_cycle(self):
+        cdn = build_cyclic_dependency_network()
+        alg = cdn.algorithm
+        cdg = build_cdg(alg)
+        cycle = find_cycles(cdg).cycles[0]
+        cls = classify_cycle(
+            alg,
+            cycle,
+            pairs=list(cdn.message_pairs.values()),
+            length_slack=0,
+            extra_copies=1,
+        )
+        assert cls.is_false_resource_cycle
+        assert cls.scenarios_tested >= 1
+
+
+class TestClassifyConfiguration:
+    def test_copy_augmentation_finds_interposed_deadlock(self):
+        """Panel (c)'s deadlock needs an interposed copy; base alone does not."""
+        from repro.analysis import SystemSpec, search_deadlock
+        from repro.core.three_message import FIG3_PANELS, build_three_message_config
+
+        c = build_three_message_config(FIG3_PANELS["c"])
+        base = search_deadlock(
+            SystemSpec.uniform(c.checker_messages()), find_witness=False
+        )
+        assert not base.deadlock_reachable
+        reachable, _ = classify_configuration(c.checker_messages(), copy_depth=1)
+        assert reachable
+
+    def test_zero_copy_depth_is_plain_search(self):
+        from repro.core.two_message import build_two_message_config
+
+        c = build_two_message_config()
+        reachable, res = classify_configuration(c.checker_messages(), copy_depth=0)
+        assert reachable
+        assert res.deadlock_reachable

@@ -1,0 +1,48 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("fig1", "fig2", "fig3", "theorem2", "theorem3", "gen", "traffic", "dot"):
+        assert cmd in text
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_dot_fig1_network(capsys):
+    assert main(["dot", "fig1-network"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert '"cs"' in out or "Src" in out
+
+
+def test_dot_fig1_cdg(capsys):
+    assert main(["dot", "fig1-cdg"]) == 0
+    out = capsys.readouterr().out
+    assert 'color="red"' in out  # the 14-channel cycle is highlighted
+
+
+def test_gen_m1(capsys):
+    assert main(["gen", "--max-m", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Gen(m)" in out or "min delay" in out
+
+
+def test_theorem3_quick(capsys):
+    assert main(["theorem3", "--limit", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "theorem3_holds" in out
+
+
+def test_traffic_tiny(capsys):
+    assert main(["traffic", "--rates", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "positive control" in out

@@ -1,0 +1,113 @@
+"""Parametric shared-cycle builder tests."""
+
+import pytest
+
+from repro.core.specs import CycleMessageSpec, build_shared_cycle
+from repro.routing.paths import path_nodes
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CycleMessageSpec(approach_len=0, hold_len=2)
+    with pytest.raises(ValueError):
+        CycleMessageSpec(approach_len=1, hold_len=0)
+
+
+def test_needs_two_messages():
+    with pytest.raises(ValueError, match="at least two"):
+        build_shared_cycle([CycleMessageSpec(approach_len=1, hold_len=2)])
+
+
+@pytest.fixture
+def basic():
+    return build_shared_cycle(
+        [
+            CycleMessageSpec(approach_len=2, hold_len=3, label="A"),
+            CycleMessageSpec(approach_len=3, hold_len=4, label="B"),
+        ]
+    )
+
+
+def test_ring_size_is_sum_of_holds(basic):
+    assert len(basic.cycle_channels) == 7
+
+
+def test_shared_channel_first_on_every_path(basic):
+    alg = basic.algorithm
+    for src, dst in basic.message_pairs:
+        assert alg.path(src, dst)[0] is basic.shared_channel
+
+
+def test_approach_lengths(basic):
+    alg = basic.algorithm
+    ring_ids = {c.cid for c in basic.cycle_channels}
+    for (src, dst), spec in zip(basic.message_pairs, basic.specs):
+        path = alg.path(src, dst)
+        first_ring = next(i for i, c in enumerate(path) if c.cid in ring_ids)
+        assert first_ring - 1 == spec.approach_len
+
+
+def test_blocking_structure(basic):
+    """Message i's path ends one node past message i+1's entry."""
+    alg = basic.algorithm
+    n = len(basic.message_pairs)
+    for i in range(n):
+        nxt = (i + 1) % n
+        entry_next = basic.cycle_channels[basic.entry_positions[nxt]]
+        path = alg.path(*basic.message_pairs[i])
+        assert path[-1].cid == entry_next.cid
+
+
+def test_in_cycle_path_length(basic):
+    alg = basic.algorithm
+    ring_ids = {c.cid for c in basic.cycle_channels}
+    for (src, dst), spec in zip(basic.message_pairs, basic.specs):
+        path = alg.path(src, dst)
+        assert sum(1 for c in path if c.cid in ring_ids) == spec.hold_len + 1
+
+
+def test_min_lengths(basic):
+    assert basic.min_lengths() == [3, 4]
+
+
+def test_checker_messages_default_and_custom(basic):
+    msgs = basic.checker_messages()
+    assert [m.length for m in msgs] == [3, 4]
+    msgs2 = basic.checker_messages(lengths=[5, 6])
+    assert [m.length for m in msgs2] == [5, 6]
+    with pytest.raises(ValueError):
+        basic.checker_messages(lengths=[1])
+
+
+def test_labels_autofilled():
+    c = build_shared_cycle(
+        [CycleMessageSpec(approach_len=1, hold_len=2)] * 2
+    )
+    assert [s.label for s in c.specs] == ["M1", "M2"]
+
+
+def test_non_shared_message_gets_own_source():
+    c = build_shared_cycle(
+        [
+            CycleMessageSpec(approach_len=2, hold_len=3, label="A"),
+            CycleMessageSpec(approach_len=1, hold_len=3, uses_shared=False, label="E"),
+            CycleMessageSpec(approach_len=3, hold_len=3, label="B"),
+        ]
+    )
+    srcs = [p[0] for p in c.message_pairs]
+    assert srcs[0] == "Src" and srcs[2] == "Src"
+    assert srcs[1] == "S2"
+    alg = c.algorithm
+    assert c.shared_channel not in alg.path(*c.message_pairs[1])
+
+
+def test_approach_chains_are_private(basic):
+    """No channel outside the ring and cs is shared between messages."""
+    alg = basic.algorithm
+    ring_ids = {c.cid for c in basic.cycle_channels}
+    seen: dict[int, int] = {}
+    for i, (src, dst) in enumerate(basic.message_pairs):
+        for c in alg.path(src, dst):
+            if c.cid in ring_ids or c is basic.shared_channel:
+                continue
+            assert seen.setdefault(c.cid, i) == i

@@ -1,0 +1,158 @@
+"""Theorem 2/3/4/5 and Section 6 tests on the core constructions."""
+
+import pytest
+
+from repro.analysis import SystemSpec, classify_configuration, search_deadlock
+from repro.analysis.delay import min_delay_to_deadlock
+from repro.core.conditions import TheoremFiveInput, evaluate_conditions, theorem5_predicts_unreachable
+from repro.core.generalized import build_generalized, generalized_messages
+from repro.core.specs import CycleMessageSpec
+from repro.core.three_message import FIG3_PANELS, build_three_message_config
+from repro.core.two_message import build_two_message_config
+from repro.core.within_cycle import OverlapSpec, build_overlapping_ring, theorem2_default
+
+
+class TestTheorem4:
+    """Two messages sharing a channel outside the cycle always deadlock."""
+
+    def test_default_config_deadlocks(self):
+        c = build_two_message_config()
+        res = search_deadlock(SystemSpec.uniform(c.checker_messages()))
+        assert res.deadlock_reachable
+
+    @pytest.mark.parametrize("d1,d2", [(1, 1), (2, 2), (3, 1), (1, 4)])
+    def test_universal_over_approaches(self, d1, d2):
+        c = build_two_message_config(approach_1=d1, approach_2=d2)
+        res = search_deadlock(
+            SystemSpec.uniform(c.checker_messages()), find_witness=False
+        )
+        assert res.deadlock_reachable
+
+    def test_longer_approach_injected_first_in_min_witness(self):
+        c = build_two_message_config(approach_1=4, approach_2=1)
+        res = search_deadlock(SystemSpec.uniform(c.checker_messages()))
+        first = None
+        for actions in res.witness.steps:
+            for i, act in enumerate(actions):
+                if act == "try":
+                    first = res.witness.spec.messages[i].tag
+                    break
+            if first:
+                break
+        assert first == "M1"
+
+
+class TestTheorem2:
+    """Shared channels within the cycle always yield a reachable deadlock."""
+
+    def test_default_overlap_deadlocks(self):
+        c = theorem2_default()
+        res = search_deadlock(SystemSpec.uniform(c.checker_messages()), find_witness=False)
+        assert res.deadlock_reachable
+
+    def test_two_message_deep_overlap(self):
+        c = build_overlapping_ring(
+            10,
+            [OverlapSpec(entry_pos=0, run_len=7), OverlapSpec(entry_pos=5, run_len=7)],
+        )
+        res = search_deadlock(SystemSpec.uniform(c.checker_messages()), find_witness=False)
+        assert res.deadlock_reachable
+
+    def test_uncovered_ring_rejected(self):
+        # entry 3 -> entry 0 gap of 5 exceeds the run of 3: cycle cannot close
+        with pytest.raises(ValueError, match="close|cover"):
+            build_overlapping_ring(
+                8,
+                [OverlapSpec(entry_pos=0, run_len=3), OverlapSpec(entry_pos=3, run_len=3)],
+            )
+
+    def test_full_ring_run_rejected(self):
+        with pytest.raises(ValueError, match="run_len"):
+            build_overlapping_ring(
+                6,
+                [OverlapSpec(entry_pos=0, run_len=6), OverlapSpec(entry_pos=3, run_len=4)],
+            )
+
+    def test_non_closing_cycle_rejected(self):
+        with pytest.raises(ValueError, match="close"):
+            build_overlapping_ring(
+                8,
+                [OverlapSpec(entry_pos=0, run_len=2), OverlapSpec(entry_pos=4, run_len=6)],
+            )
+
+
+class TestSection6:
+    def test_gen1_is_fig1_geometry(self):
+        c = build_generalized(1)
+        assert [s.approach_len for s in c.specs] == [2, 3, 2, 3]
+        assert [s.hold_len for s in c.specs] == [3, 4, 3, 4]
+        assert len(c.cycle_channels) == 14
+
+    @pytest.mark.parametrize("m,expected", [(1, 1), (2, 2)])
+    def test_min_delay_grows(self, m, expected):
+        res = min_delay_to_deadlock(generalized_messages(m), max_delay=6)
+        assert res.min_delay == expected
+        assert res.deadlock_free_under_synchrony
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            build_generalized(-1)
+
+
+class TestTheorem5Conditions:
+    def test_panels_match_paper(self):
+        """Condition profile and search classification per Figure 3 panel."""
+        for panel, params in FIG3_PANELS.items():
+            predicted = theorem5_predicts_unreachable(list(params.specs))
+            assert predicted == params.expected_unreachable, panel
+
+    @pytest.mark.parametrize("panel", ["c", "d", "e", "f"])
+    def test_deadlock_panels_reach_deadlock(self, panel):
+        c = build_three_message_config(FIG3_PANELS[panel])
+        reachable, _ = classify_configuration(c.checker_messages(), copy_depth=1)
+        assert reachable
+
+    @pytest.mark.parametrize("panel", ["a", "b"])
+    def test_unreachable_panels_stay_unreachable(self, panel):
+        c = build_three_message_config(FIG3_PANELS[panel])
+        reachable, _ = classify_configuration(c.checker_messages(), copy_depth=1)
+        assert not reachable
+
+    def test_condition_report_structure(self):
+        params = FIG3_PANELS["f"]
+        report = evaluate_conditions(TheoremFiveInput.from_specs(list(params.specs)))
+        assert set(report.conditions) == set(range(1, 9))
+        assert report.failed() == [6, 8]
+
+    def test_from_specs_requires_three_shared(self):
+        with pytest.raises(ValueError):
+            TheoremFiveInput.from_specs(
+                [CycleMessageSpec(approach_len=1, hold_len=1)] * 2
+            )
+
+    def test_condition3_fails_on_tied_distances(self):
+        specs = [
+            CycleMessageSpec(approach_len=2, hold_len=3),
+            CycleMessageSpec(approach_len=2, hold_len=3),
+            CycleMessageSpec(approach_len=3, hold_len=4),
+        ]
+        report = evaluate_conditions(TheoremFiveInput.from_specs(specs))
+        assert 3 in report.failed()
+
+    def test_extras_change_condition8(self):
+        """An interposed message between M3 and M2 can break condition 8."""
+        base = [
+            CycleMessageSpec(approach_len=4, hold_len=5, label="Ma"),
+            CycleMessageSpec(approach_len=2, hold_len=4, label="Mc"),
+            CycleMessageSpec(approach_len=3, hold_len=3, label="Mb"),
+        ]
+        assert evaluate_conditions(TheoremFiveInput.from_specs(base)).conditions[8]
+        with_extra = [
+            base[0],
+            base[1],
+            CycleMessageSpec(approach_len=2, hold_len=6, uses_shared=False, label="E"),
+            base[2],
+        ]
+        assert not evaluate_conditions(
+            TheoremFiveInput.from_specs(with_extra)
+        ).conditions[8]

@@ -1,0 +1,63 @@
+"""Lin-McKinley-Ni flow model tests (Section 2's sufficiency-only technique)."""
+
+import pytest
+
+from repro.cdg.flow_model import certification_gap, deadlock_immune_channels
+from repro.core.cyclic_dependency import build_cyclic_dependency_network
+from repro.routing import RoutingAlgorithm, clockwise_ring, dimension_order_mesh
+from repro.topology import mesh, ring
+
+
+def test_mesh_dor_fully_certified():
+    net = mesh((4, 4))
+    alg = RoutingAlgorithm(dimension_order_mesh(net, 2))
+    res = deadlock_immune_channels(alg)
+    assert res.certifies_deadlock_freedom
+    assert res.uncertified == set()
+    assert len(res.immune) > 0
+
+
+def test_ring_cycle_uncertified():
+    net = ring(5)
+    alg = RoutingAlgorithm(clockwise_ring(net, 5))
+    res = deadlock_immune_channels(alg)
+    assert not res.certifies_deadlock_freedom
+    # the whole ring is one cycle: nothing is immune
+    assert res.immune == set()
+    assert len(res.uncertified) == 5
+
+
+def test_fig1_flow_model_stalls_on_the_ring():
+    """The paper's Section 2 point: the flow model cannot certify Figure 1
+    even though Theorem 1 proves it deadlock-free."""
+    cdn = build_cyclic_dependency_network()
+    res = deadlock_immune_channels(cdn.algorithm)
+    assert not res.certifies_deadlock_freedom
+    ring_ids = {c.cid for c in cdn.cycle_channels}
+    uncertified_ids = {c.cid for c in res.uncertified}
+    # every ring channel is uncertified (no starting point inside the cycle)
+    assert ring_ids <= uncertified_ids
+    # channels that cannot reach the ring -- the hub's delivery links -- ARE
+    # certified: the induction works outward from genuine sinks
+    immune_labels = {c.label for c in res.immune}
+    assert "hub->D1" in immune_labels
+    assert "hub->Src" in immune_labels
+    assert len(res.immune) > 0
+
+
+def test_induction_matches_reachability_characterisation():
+    """Immune == cannot reach a CDG cycle (cross-check on Figure 1)."""
+    cdn = build_cyclic_dependency_network()
+    alg = cdn.algorithm
+    res = deadlock_immune_channels(alg)
+    gap = certification_gap(alg)
+    assert res.uncertified == gap
+
+
+def test_summary_shape():
+    net = mesh((3, 3))
+    alg = RoutingAlgorithm(dimension_order_mesh(net, 2))
+    s = deadlock_immune_channels(alg).summary()
+    assert s["certified"] is True
+    assert s["uncertified"] == 0
+    assert s["channels"] == s["immune"]

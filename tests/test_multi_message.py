@@ -1,0 +1,99 @@
+"""Section 7 extension tests: four messages, multiple shared channels."""
+
+import pytest
+
+from repro.core.multi_message import (
+    predicted_unreachable,
+    run_split_shared_experiment,
+    split_shared_fig1,
+)
+from repro.core.specs import CycleMessageSpec, build_shared_cycle
+
+
+def specs_from(params):
+    return [
+        CycleMessageSpec(approach_len=d, hold_len=h, label=f"S{i}")
+        for i, (d, h) in enumerate(params)
+    ]
+
+
+class TestPredictor:
+    def test_fig1_predicted_unreachable(self):
+        assert predicted_unreachable(specs_from([(2, 3), (3, 4), (2, 3), (3, 4)]))
+
+    def test_hold_le_approach_predicts_deadlock(self):
+        assert not predicted_unreachable(specs_from([(3, 2), (3, 4), (2, 3), (3, 4)]))
+
+    def test_feasible_schedule_predicts_deadlock(self):
+        # two-message configuration with a feasible consecutive schedule
+        assert not predicted_unreachable(specs_from([(3, 4), (2, 4)]))
+
+    def test_rejects_non_shared(self):
+        specs = specs_from([(2, 3), (3, 4)])
+        specs.append(
+            CycleMessageSpec(approach_len=1, hold_len=2, uses_shared=False, label="E")
+        )
+        with pytest.raises(ValueError, match="all-shared"):
+            predicted_unreachable(specs)
+
+
+class TestSplitShared:
+    def test_builder_creates_two_shared_channels(self):
+        c = split_shared_fig1((0, 1, 0, 1))
+        assert len(c.shared_channels) == 2
+        assert c.shared_channels[0].label == "cs"
+        assert c.shared_channels[1].label == "cs1"
+        # group-1 messages start at Src1 and use cs1, not cs
+        alg = c.algorithm
+        p2 = alg.path(*c.message_pairs[1])
+        assert p2[0] is c.shared_channels[1]
+        assert c.shared_channels[0] not in p2
+
+    def test_single_group_matches_original(self):
+        c = split_shared_fig1((0, 0, 0, 0))
+        assert len(c.shared_channels) == 1
+        assert all(
+            c.algorithm.path(*pair)[0] is c.shared_channels[0]
+            for pair in c.message_pairs
+        )
+
+    def test_bad_group_count(self):
+        with pytest.raises(ValueError):
+            split_shared_fig1((0, 1))
+
+    def test_2plus2_split_deadlocks(self):
+        """With only two messages per shared channel, Theorem 4 logic bites."""
+        from repro.analysis import SystemSpec, search_deadlock
+
+        c = split_shared_fig1((0, 1, 0, 1))
+        res = search_deadlock(
+            SystemSpec.uniform(c.checker_messages()), find_witness=False
+        )
+        assert res.deadlock_reachable
+
+    def test_3plus1_split_deadlocks(self):
+        from repro.analysis import SystemSpec, search_deadlock
+
+        c = split_shared_fig1((0, 0, 0, 1))
+        res = search_deadlock(
+            SystemSpec.uniform(c.checker_messages()), find_witness=False
+        )
+        assert res.deadlock_reachable
+
+
+class TestSpecValidation:
+    def test_negative_group_rejected(self):
+        with pytest.raises(ValueError):
+            CycleMessageSpec(approach_len=1, hold_len=2, shared_group=-1)
+
+    def test_groups_do_not_collide_in_network(self):
+        c = build_shared_cycle(
+            [
+                CycleMessageSpec(approach_len=2, hold_len=3, shared_group=0),
+                CycleMessageSpec(approach_len=2, hold_len=3, shared_group=1),
+                CycleMessageSpec(approach_len=2, hold_len=3, shared_group=2),
+            ]
+        )
+        assert len(c.shared_channels) == 3
+        srcs = {p[0] for p in c.message_pairs}
+        assert srcs == {"Src", "Src1", "Src2"}

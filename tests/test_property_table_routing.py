@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for TableRouting compilation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import RoutingAlgorithm, TableRouting
+from repro.routing.table import PathTableError
+from repro.topology import Network, ring
+
+
+@st.composite
+def ring_path_tables(draw):
+    """A ring network plus a set of non-conflicting clockwise paths.
+
+    Clockwise ring paths can never violate the C x N -> C functionality
+    requirement (the out-channel at a node is determined by the node), so
+    every drawn table must compile and round-trip.
+    """
+    n = draw(st.integers(4, 9))
+    net = ring(n)
+    k = draw(st.integers(1, 6))
+    pairs = set()
+    node_paths = {}
+    for _ in range(k):
+        src = draw(st.integers(0, n - 1))
+        hops = draw(st.integers(1, n - 1))
+        dst = (src + hops) % n
+        if (src, dst) in pairs:
+            continue
+        pairs.add((src, dst))
+        node_paths[(src, dst)] = [(src + j) % n for j in range(hops + 1)]
+    return net, node_paths
+
+
+@given(ring_path_tables())
+@settings(max_examples=50, deadline=None)
+def test_compile_round_trip(data):
+    net, node_paths = data
+    if not node_paths:
+        return
+    tr = TableRouting.from_node_paths(net, node_paths)
+    alg = RoutingAlgorithm(tr)
+    for (src, dst), nodes in node_paths.items():
+        path = alg.path(src, dst)
+        assert [path[0].src] + [c.dst for c in path] == nodes
+        assert tr.table_path(src, dst) == tuple(path)
+    assert set(tr.defined_pairs()) == set(node_paths)
+
+
+@given(ring_path_tables())
+@settings(max_examples=30, deadline=None)
+def test_compiled_function_is_input_channel_independent_on_rings(data):
+    """Clockwise-only path sets behave as N x N -> C."""
+    from repro.routing.properties import is_input_channel_independent
+
+    net, node_paths = data
+    if not node_paths:
+        return
+    tr = TableRouting.from_node_paths(net, node_paths)
+    alg = RoutingAlgorithm(tr)
+    assert is_input_channel_independent(alg)
+
+
+def test_conflicting_table_always_rejected():
+    """Divergent continuations after a shared channel must never compile."""
+    net = Network()
+    sa = net.add_channel("S", "A", label="sa")
+    ab = net.add_channel("A", "B", label="ab")
+    ac = net.add_channel("A", "C", label="ac")
+    bd = net.add_channel("B", "D", label="bd")
+    cd = net.add_channel("C", "D", label="cd")
+    try:
+        TableRouting(
+            net,
+            {("S", "D"): [sa, ab, bd], ("Q", "D"): [sa, ac, cd]},
+            check=False,
+        )
+        raise AssertionError("conflicting table compiled")
+    except PathTableError:
+        pass

@@ -1,0 +1,58 @@
+"""Chien router cost model tests (the intro's complexity claim, measured)."""
+
+import pytest
+
+from repro.core.cyclic_dependency import build_cyclic_dependency_network
+from repro.sim.router_cost import RouterCostModel, network_cost, router_cost
+from repro.topology import mesh, ring, torus
+
+
+def test_mesh_corner_vs_center():
+    net = mesh((4, 4))
+    corner = router_cost(net, (0, 0))
+    center = router_cost(net, (1, 1))
+    assert center.in_ports > corner.in_ports
+    assert center.cycle_time >= corner.cycle_time
+
+
+def test_vcs_increase_cycle_time():
+    slim = network_cost(torus((4, 4), vcs=1))
+    fat = network_cost(torus((4, 4), vcs=4))
+    assert fat.cycle_time > slim.cycle_time
+    assert fat.per_node[0].max_vcs == 4
+
+
+def test_adaptive_selection_costs():
+    net = mesh((4, 4))
+    obl = router_cost(net, (1, 1), candidate_width=1)
+    ada = router_cost(net, (1, 1), candidate_width=4)
+    assert ada.cycle_time > obl.cycle_time
+
+
+def test_fig1_hub_is_the_bottleneck():
+    """The Figure 1 construction concentrates everything at N*: its router
+    is far larger than any spoke's -- the honest hardware cost of the
+    paper's example (and of the intro's simplicity claim cutting both ways)."""
+    cdn = build_cyclic_dependency_network()
+    cost = network_cost(cdn.network)
+    assert str(cost.bottleneck.node) == "N*"
+    spoke = router_cost(cdn.network, "X1")
+    assert cost.bottleneck.crossbar_points > 10 * spoke.crossbar_points
+
+
+def test_mesh_cheaper_than_fig1_hub():
+    mesh_cost = network_cost(mesh((5, 5)))
+    fig1_cost = network_cost(build_cyclic_dependency_network().network)
+    assert mesh_cost.cycle_time < fig1_cost.cycle_time
+
+
+def test_custom_model_constants():
+    net = ring(4)
+    slow = RouterCostModel(t_decode=100.0)
+    assert router_cost(net, 0, model=slow).cycle_time > 100.0
+
+
+def test_summary_shape():
+    s = network_cost(ring(5)).summary()
+    assert s["routers"] == 5
+    assert s["network cycle time"] > 0

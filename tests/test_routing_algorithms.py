@@ -1,0 +1,142 @@
+"""Baseline routing algorithm tests: DOR, e-cube, dateline torus, ring, turn model."""
+
+import itertools
+
+import pytest
+
+from repro.routing import (
+    RoutingAlgorithm,
+    RoutingError,
+    clockwise_ring,
+    dateline_torus,
+    dimension_order_mesh,
+    ecube_hypercube,
+    negative_first_mesh,
+    north_last_mesh,
+    west_first_mesh,
+)
+from repro.topology import hypercube, mesh, ring, torus
+
+
+class TestDOR:
+    @pytest.fixture
+    def alg(self):
+        net = mesh((4, 4))
+        return RoutingAlgorithm(dimension_order_mesh(net, 2))
+
+    def test_x_before_y(self, alg):
+        path = alg.path((0, 0), (3, 2))
+        moves = [(c.dst[0] - c.src[0], c.dst[1] - c.src[1]) for c in path]
+        # all x-moves precede all y-moves
+        first_y = next(i for i, m in enumerate(moves) if m[1] != 0)
+        assert all(m[1] == 0 for m in moves[:first_y])
+        assert all(m[0] == 0 for m in moves[first_y:])
+
+    def test_minimal_everywhere(self, alg):
+        for s, d in itertools.product(alg.network.nodes, repeat=2):
+            if s != d:
+                assert alg.hops(s, d) == sum(abs(a - b) for a, b in zip(s, d))
+
+    def test_negative_direction(self, alg):
+        path = alg.path((3, 3), (0, 0))
+        assert path[0].dst == (2, 3)
+
+    def test_wrong_node_type_raises(self):
+        net = mesh((3, 3))
+        fn = dimension_order_mesh(net, 2)
+        with pytest.raises(RoutingError, match="coordinate-tuple"):
+            fn.route(None, "A", "B")
+
+
+class TestECube:
+    def test_lowest_bit_first(self):
+        net = hypercube(3)
+        alg = RoutingAlgorithm(ecube_hypercube(net, 3))
+        path = alg.path(0b000, 0b111)
+        assert [c.dst for c in path] == [0b001, 0b011, 0b111]
+
+    def test_minimal(self):
+        net = hypercube(4)
+        alg = RoutingAlgorithm(ecube_hypercube(net, 4))
+        for s, d in itertools.product(range(16), repeat=2):
+            if s != d:
+                assert alg.hops(s, d) == bin(s ^ d).count("1")
+
+
+class TestDatelineTorus:
+    @pytest.fixture
+    def alg(self):
+        net = torus((4, 4), vcs=2)
+        return RoutingAlgorithm(dateline_torus(net, (4, 4)))
+
+    def test_always_plus_direction(self, alg):
+        path = alg.path((3, 0), (1, 0))
+        xs = [c.src[0] for c in path] + [path[-1].dst[0]]
+        assert xs == [3, 0, 1]  # wraps through the dateline
+
+    def test_vc_switch_at_dateline(self, alg):
+        path = alg.path((2, 0), (1, 0))
+        vcs = [c.vc for c in path]
+        # starts on VC1 (wrap ahead), ends on VC0 (wrap behind)
+        assert vcs[0] == 1 and vcs[-1] == 0
+
+    def test_no_wrap_uses_vc0(self, alg):
+        path = alg.path((0, 0), (2, 0))
+        assert all(c.vc == 0 for c in path)
+
+    def test_connected_all_pairs(self, alg):
+        for s, d in itertools.product(alg.network.nodes, repeat=2):
+            if s != d:
+                assert alg.try_path(s, d) is not None
+
+
+class TestRing:
+    def test_clockwise_only(self):
+        net = ring(6)
+        alg = RoutingAlgorithm(clockwise_ring(net, 6))
+        assert alg.hops(0, 5) == 5
+        assert alg.hops(1, 0) == 5
+
+
+class TestTurnModel:
+    @pytest.fixture
+    def net(self):
+        return mesh((5, 5))
+
+    @pytest.mark.parametrize(
+        "factory", [west_first_mesh, north_last_mesh, negative_first_mesh]
+    )
+    def test_minimal_and_connected(self, net, factory):
+        alg = RoutingAlgorithm(factory(net))
+        for s, d in itertools.product(net.nodes, repeat=2):
+            if s != d:
+                assert alg.hops(s, d) == sum(abs(a - b) for a, b in zip(s, d))
+
+    def test_west_first_goes_west_first(self, net):
+        alg = RoutingAlgorithm(west_first_mesh(net))
+        path = alg.path((3, 1), (1, 3))
+        assert path[0].dst == (2, 1)  # west hop first
+        # once a non-west hop happens, no further west hops
+        moves = [(c.dst[0] - c.src[0]) for c in path]
+        last_west = max(i for i, m in enumerate(moves) if m < 0)
+        assert all(m >= 0 for m in moves[last_west + 1 :])
+
+    def test_north_last_defers_north(self, net):
+        alg = RoutingAlgorithm(north_last_mesh(net))
+        path = alg.path((1, 1), (3, 3))
+        moves = [(c.dst[0] - c.src[0], c.dst[1] - c.src[1]) for c in path]
+        first_north = next(i for i, m in enumerate(moves) if m[1] > 0)
+        assert all(m[1] > 0 for m in moves[first_north:])
+
+    def test_negative_first_order(self, net):
+        alg = RoutingAlgorithm(negative_first_mesh(net))
+        path = alg.path((3, 3), (1, 4))
+        moves = [(c.dst[0] - c.src[0], c.dst[1] - c.src[1]) for c in path]
+        first_pos = next(i for i, m in enumerate(moves) if m[0] > 0 or m[1] > 0)
+        assert all(m[0] < 0 or m[1] < 0 for m in moves[:first_pos])
+
+    def test_unknown_policy_rejected(self, net):
+        from repro.routing.turn_model import _TurnModelMesh
+
+        with pytest.raises(ValueError, match="unknown"):
+            _TurnModelMesh(net, "east-last")

@@ -1,0 +1,93 @@
+"""RoutingAlgorithm / routing-function protocol tests."""
+
+import pytest
+
+from repro.routing import INJECT, RoutingAlgorithm, RoutingError, clockwise_ring
+from repro.routing.base import RoutingFunction, _InjectSentinel
+from repro.topology import Network, ring
+
+
+def test_inject_sentinel_is_singleton():
+    assert _InjectSentinel() is INJECT
+
+
+def test_path_iterates_routing_function():
+    net = ring(5)
+    alg = RoutingAlgorithm(clockwise_ring(net, 5))
+    path = alg.path(0, 3)
+    assert [c.src for c in path] == [0, 1, 2]
+    assert path[-1].dst == 3
+
+
+def test_path_rejects_same_endpoints():
+    net = ring(5)
+    alg = RoutingAlgorithm(clockwise_ring(net, 5))
+    with pytest.raises(RoutingError, match="itself"):
+        alg.path(2, 2)
+
+
+def test_path_caching_returns_same_object():
+    net = ring(5)
+    alg = RoutingAlgorithm(clockwise_ring(net, 5))
+    assert alg.path(0, 2) is alg.path(0, 2)
+    alg.clear_cache()
+    assert alg.path(0, 2) == alg.path(0, 2)
+
+
+class _BouncingFn(RoutingFunction):
+    """Pathological function that ping-pongs between two channels."""
+
+    def __init__(self, network, a, b):
+        super().__init__(network)
+        self.a, self.b = a, b
+
+    def route(self, in_channel, node, dest):
+        return self.a if node == self.a.src else self.b
+
+
+def test_divergent_function_detected():
+    net = Network()
+    ab = net.add_channel("A", "B")
+    ba = net.add_channel("B", "A")
+    net.add_channel("A", "C")
+    net.add_channel("C", "A")
+    alg = RoutingAlgorithm(_BouncingFn(net, ab, ba))
+    with pytest.raises(RoutingError, match="revisits channel"):
+        alg.path("A", "C")
+
+
+class _WrongSourceFn(RoutingFunction):
+    def route(self, in_channel, node, dest):
+        # returns a channel that does not start at `node`
+        return self.network.channels_out("B")[0]
+
+
+def test_inconsistent_output_channel_detected():
+    net = Network()
+    net.add_channel("A", "B")
+    net.add_channel("B", "A")
+    alg = RoutingAlgorithm(_WrongSourceFn(net))
+    with pytest.raises(RoutingError, match="source is not"):
+        alg.path("A", "B")
+
+
+def test_try_path_returns_none_on_error():
+    net = ring(4)
+    alg = RoutingAlgorithm(clockwise_ring(net, 4))
+    assert alg.try_path(0, 0) is None
+    assert alg.try_path(0, 2) is not None
+
+
+def test_all_pairs_paths_complete():
+    net = ring(4)
+    alg = RoutingAlgorithm(clockwise_ring(net, 4))
+    paths = alg.all_pairs_paths()
+    assert len(paths) == 12
+    assert all(p for p in paths.values())
+
+
+def test_hops():
+    net = ring(6)
+    alg = RoutingAlgorithm(clockwise_ring(net, 6))
+    assert alg.hops(0, 5) == 5
+    assert alg.hops(5, 0) == 1

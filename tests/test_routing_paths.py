@@ -1,0 +1,93 @@
+"""Path helper tests."""
+
+import pytest
+
+from repro.routing.paths import (
+    first_occurrence_prefix,
+    path_is_contiguous,
+    path_nodes,
+    suffix_from,
+    validate_path,
+)
+from repro.topology import Network
+
+
+@pytest.fixture
+def net():
+    n = Network()
+    for a, b in [("A", "B"), ("B", "C"), ("C", "D"), ("C", "A"), ("A", "C")]:
+        n.add_channel(a, b, label=f"{a}{b}")
+    return n
+
+
+def chans(net, *labels):
+    return [net.channel_by_label(lbl) for lbl in labels]
+
+
+def test_contiguity(net):
+    assert path_is_contiguous(chans(net, "AB", "BC", "CD"))
+    assert not path_is_contiguous(chans(net, "AB", "CD"))
+
+
+def test_path_nodes(net):
+    assert path_nodes(chans(net, "AB", "BC", "CD")) == ["A", "B", "C", "D"]
+    assert path_nodes([]) == []
+
+
+def test_validate_ok(net):
+    validate_path(net, chans(net, "AB", "BC", "CD"), "A", "D")
+
+
+def test_validate_wrong_endpoints(net):
+    with pytest.raises(ValueError, match="starts"):
+        validate_path(net, chans(net, "AB", "BC"), "B", "C")
+    with pytest.raises(ValueError, match="ends"):
+        validate_path(net, chans(net, "AB", "BC"), "A", "D")
+
+
+def test_validate_empty(net):
+    with pytest.raises(ValueError, match="empty"):
+        validate_path(net, [], "A", "B")
+
+
+def test_validate_channel_revisit_rejected(net):
+    # A -> B -> C -> A -> B reuses AB
+    path = chans(net, "AB", "BC", "CA", "AB")
+    with pytest.raises(ValueError, match="revisits a channel"):
+        validate_path(net, path, "A", "B")
+
+
+def test_validate_node_revisit_policy(net):
+    # A -> C -> A visits A twice but uses distinct channels... then to B
+    path = chans(net, "AC", "CA", "AB")
+    validate_path(net, path, "A", "B")  # allowed by default
+    with pytest.raises(ValueError, match="revisits a node"):
+        validate_path(net, path, "A", "B", allow_node_revisit=False)
+
+
+def test_validate_foreign_channel(net):
+    other = Network()
+    foreign = other.add_channel("A", "B")
+    with pytest.raises(ValueError, match="does not belong"):
+        validate_path(net, [foreign], "A", "B")
+
+
+def test_prefix_and_suffix(net):
+    path = chans(net, "AB", "BC", "CD")
+    assert [c.label for c in first_occurrence_prefix(path, "C")] == ["AB", "BC"]
+    assert [c.label for c in suffix_from(path, "C")] == ["CD"]
+    # the source itself
+    assert first_occurrence_prefix(path, "A") == ()
+    assert [c.label for c in suffix_from(path, "A")] == ["AB", "BC", "CD"]
+
+
+def test_prefix_first_occurrence_semantics(net):
+    # A -> C -> A -> B : first occurrence of C is after one hop
+    path = chans(net, "AC", "CA", "AB")
+    assert [c.label for c in first_occurrence_prefix(path, "C")] == ["AC"]
+    assert [c.label for c in suffix_from(path, "C")] == ["CA", "AB"]
+
+
+def test_prefix_missing_node(net):
+    with pytest.raises(ValueError, match="not on the path"):
+        first_occurrence_prefix(chans(net, "AB"), "Z")

@@ -1,0 +1,130 @@
+"""Property checker tests (Definitions 7-9 and the Corollary 1 form)."""
+
+import pytest
+
+from repro.routing import (
+    RoutingAlgorithm,
+    TableRouting,
+    analyze_properties,
+    clockwise_ring,
+    dimension_order_mesh,
+    is_coherent,
+    is_connected,
+    is_input_channel_independent,
+    is_minimal,
+    is_prefix_closed,
+    is_suffix_closed,
+    never_revisits_nodes,
+)
+from repro.routing.properties import minimality_slack
+from repro.topology import Network, mesh, ring
+
+
+@pytest.fixture
+def dor_alg():
+    net = mesh((3, 3))
+    return RoutingAlgorithm(dimension_order_mesh(net, 2))
+
+
+def test_dor_has_all_good_properties(dor_alg):
+    props = analyze_properties(dor_alg)
+    assert props.connected
+    assert props.minimal
+    assert props.prefix_closed
+    assert props.suffix_closed
+    assert props.coherent
+    assert props.input_channel_independent
+    assert props.node_revisit_free
+
+
+def test_ring_properties():
+    net = ring(5)
+    alg = RoutingAlgorithm(clockwise_ring(net, 5))
+    assert is_connected(alg)
+    assert is_minimal(alg)  # unidirectional ring: the only path is shortest
+    assert is_suffix_closed(alg)
+    assert is_prefix_closed(alg)
+    assert is_coherent(alg)
+    assert is_input_channel_independent(alg)
+
+
+@pytest.fixture
+def detour_net():
+    """S -> A -> B (direct) plus a longer S -> C -> A path for contrast."""
+    net = Network()
+    for a, b in [("S", "A"), ("A", "B"), ("S", "C"), ("C", "A"), ("B", "S")]:
+        net.add_channel(a, b, label=f"{a}{b}")
+    return net
+
+
+def test_nonminimal_detected(detour_net):
+    tr = TableRouting.from_node_paths(
+        detour_net, {("S", "A"): ["S", "C", "A"], ("S", "B"): ["S", "A", "B"]}
+    )
+    alg = RoutingAlgorithm(tr)
+    assert not is_minimal(alg)
+    slack = minimality_slack(alg)
+    assert slack[("S", "A")] == 1
+    assert slack[("S", "B")] == 0
+
+
+def test_prefix_closure_violation(detour_net):
+    # S->B goes via A, but S->A takes the detour: prefix differs
+    tr = TableRouting.from_node_paths(
+        detour_net, {("S", "B"): ["S", "A", "B"], ("S", "A"): ["S", "C", "A"]}
+    )
+    alg = RoutingAlgorithm(tr)
+    assert not is_prefix_closed(alg)
+
+
+def test_prefix_closure_undefined_partial_counts_as_violation(detour_net):
+    tr = TableRouting.from_node_paths(detour_net, {("S", "B"): ["S", "A", "B"]})
+    alg = RoutingAlgorithm(tr)
+    assert not is_prefix_closed(alg)  # (S, A) partial path undefined
+
+
+def test_suffix_closure_violation():
+    net = Network()
+    for a, b in [("S", "A"), ("A", "B"), ("A", "C"), ("C", "B"), ("B", "S")]:
+        net.add_channel(a, b, label=f"{a}{b}")
+    # S->B goes S,A,B but A->B (as a source) goes A,C,B
+    tr = TableRouting.from_node_paths(
+        net, {("S", "B"): ["S", "A", "B"], ("A", "B"): ["A", "C", "B"]}
+    )
+    alg = RoutingAlgorithm(tr)
+    assert not is_suffix_closed(alg)
+    assert not is_coherent(alg)
+
+
+def test_node_revisit_breaks_coherence():
+    net = Network()
+    for a, b in [("S", "A"), ("A", "C"), ("C", "A"), ("A", "B"), ("B", "S")]:
+        net.add_channel(a, b, label=f"{a}{b}")
+    tr = TableRouting.from_node_paths(net, {("S", "B"): ["S", "A", "C", "A", "B"]})
+    alg = RoutingAlgorithm(tr)
+    assert not never_revisits_nodes(alg)
+    assert not is_coherent(alg)
+
+
+def test_input_channel_dependence_detected():
+    """Two in-channels at one node route to the same dest differently."""
+    net = Network()
+    for a, b in [("X", "A"), ("Y", "A"), ("A", "B"), ("A", "C"), ("C", "B"),
+                 ("B", "X"), ("B", "Y")]:
+        net.add_channel(a, b, label=f"{a}{b}")
+    tr = TableRouting.from_node_paths(
+        net, {("X", "B"): ["X", "A", "B"], ("Y", "B"): ["Y", "A", "C", "B"]}
+    )
+    alg = RoutingAlgorithm(tr)
+    assert not is_input_channel_independent(alg)
+
+
+def test_connected_false_for_partial_table(detour_net):
+    tr = TableRouting.from_node_paths(detour_net, {("S", "B"): ["S", "A", "B"]})
+    alg = RoutingAlgorithm(tr)
+    # over the full node-pair domain the table is not connected
+    nodes = detour_net.nodes
+    pairs = [(s, d) for s in nodes for d in nodes if s != d]
+    assert not is_connected(alg, pairs)
+    # over its own domain it is
+    assert is_connected(alg)

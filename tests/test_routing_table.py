@@ -1,0 +1,103 @@
+"""TableRouting compilation and consistency tests."""
+
+import pytest
+
+from repro.routing import INJECT, RoutingAlgorithm, RoutingError, TableRouting
+from repro.routing.table import PathTableError
+from repro.topology import Network
+
+
+@pytest.fixture
+def diamond():
+    """A -> B -> D and A -> C -> D."""
+    net = Network("diamond")
+    net.add_channel("A", "B", label="ab")
+    net.add_channel("B", "D", label="bd")
+    net.add_channel("A", "C", label="ac")
+    net.add_channel("C", "D", label="cd")
+    return net
+
+
+def test_basic_compile_and_route(diamond):
+    ab, bd = diamond.channel_by_label("ab"), diamond.channel_by_label("bd")
+    tr = TableRouting(diamond, {("A", "D"): [ab, bd]})
+    assert tr.route(INJECT, "A", "D") is ab
+    assert tr.route(ab, "B", "D") is bd
+
+
+def test_undefined_pair_raises(diamond):
+    ab, bd = diamond.channel_by_label("ab"), diamond.channel_by_label("bd")
+    tr = TableRouting(diamond, {("A", "D"): [ab, bd]})
+    with pytest.raises(RoutingError, match="no route"):
+        tr.route(INJECT, "B", "A")
+
+
+def test_malformed_path_rejected(diamond):
+    ab = diamond.channel_by_label("ab")
+    cd = diamond.channel_by_label("cd")
+    # ab ends at B but cd starts at C: not contiguous
+    with pytest.raises(ValueError, match="chain"):
+        TableRouting(diamond, {("A", "D"): [ab, cd]})
+
+
+def test_divergence_after_same_channel_rejected():
+    net = Network()
+    sa = net.add_channel("S", "A", label="sa")
+    ab = net.add_channel("A", "B", label="ab")
+    ac = net.add_channel("A", "C", label="ac")
+    bd = net.add_channel("B", "D", label="bd")
+    cd = net.add_channel("C", "D", label="cd")
+    dd2 = net.add_channel("D", "E", label="de")
+    # both pairs route through `sa` toward destination D... second hop differs
+    with pytest.raises(PathTableError, match="not expressible"):
+        TableRouting(
+            net,
+            {
+                ("S", "D"): [sa, ab, bd],
+                ("X", "D"): [sa, ac, cd],  # same in-channel sa, same dest D, diverges
+            },
+            check=False,  # skip path validation (X is not sa.src) to hit the compile check
+        )
+
+
+def test_input_channel_dependence_allowed():
+    """Same node, same destination, different input channels -> different outputs.
+
+    This is the crucial degree of freedom the paper's Figure 1 network uses.
+    """
+    net = Network()
+    xa = net.add_channel("X", "A", label="xa")
+    ya = net.add_channel("Y", "A", label="ya")
+    ab = net.add_channel("A", "B", label="ab")
+    ac = net.add_channel("A", "C", label="ac")
+    cb = net.add_channel("C", "B", label="cb")
+    tr = TableRouting(net, {("X", "B"): [xa, ab], ("Y", "B"): [ya, ac, cb]})
+    assert tr.route(xa, "A", "B") is ab
+    assert tr.route(ya, "A", "B") is ac
+
+
+def test_from_node_paths(diamond):
+    tr = TableRouting.from_node_paths(diamond, {("A", "D"): ["A", "B", "D"]})
+    assert tr.table_path("A", "D")[0].label == "ab"
+
+
+def test_from_node_paths_missing_channel(diamond):
+    with pytest.raises(PathTableError, match="no channel"):
+        TableRouting.from_node_paths(diamond, {("A", "D"): ["A", "D"]})
+
+
+def test_from_node_paths_bad_endpoints(diamond):
+    with pytest.raises(PathTableError, match="start/end"):
+        TableRouting.from_node_paths(diamond, {("A", "D"): ["B", "D"]})
+
+
+def test_defined_pairs_and_coverage(diamond):
+    tr = TableRouting.from_node_paths(diamond, {("A", "D"): ["A", "B", "D"]})
+    assert tr.defined_pairs() == [("A", "D")]
+    assert not tr.covers_all_pairs()
+
+
+def test_algorithm_path_matches_table(diamond):
+    tr = TableRouting.from_node_paths(diamond, {("A", "D"): ["A", "C", "D"]})
+    alg = RoutingAlgorithm(tr)
+    assert [c.label for c in alg.path("A", "D")] == ["ac", "cd"]

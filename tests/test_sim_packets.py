@@ -1,0 +1,114 @@
+"""Packet segmentation / reassembly tests."""
+
+import pytest
+
+from repro.routing import clockwise_ring, dimension_order_mesh
+from repro.sim import SimConfig, Simulator
+from repro.sim.packets import TransferSpec, reassemble, segment_transfers
+from repro.topology import mesh, ring
+
+
+class TestSegmentation:
+    def test_packet_count_and_lengths(self):
+        plans, specs = segment_transfers(
+            [TransferSpec(0, "A", "B", total_flits=10, max_packet_flits=4)]
+        )
+        assert plans[0].num_packets == 3
+        assert [s.length for s in specs] == [4, 4, 2]
+        assert [s.tag for s in specs] == ["t0.p0", "t0.p1", "t0.p2"]
+
+    def test_exact_multiple(self):
+        _, specs = segment_transfers(
+            [TransferSpec(0, "A", "B", total_flits=8, max_packet_flits=4)]
+        )
+        assert [s.length for s in specs] == [4, 4]
+
+    def test_unique_mids_across_transfers(self):
+        _, specs = segment_transfers(
+            [
+                TransferSpec(0, "A", "B", total_flits=5, max_packet_flits=2),
+                TransferSpec(1, "B", "A", total_flits=3, max_packet_flits=2),
+            ],
+            first_mid=10,
+        )
+        mids = [s.mid for s in specs]
+        assert mids == list(range(10, 15))
+
+    def test_non_pipelined_staggers_injection(self):
+        _, specs = segment_transfers(
+            [TransferSpec(0, "A", "B", total_flits=9, max_packet_flits=3, pipelined=False)]
+        )
+        assert [s.inject_time for s in specs] == [0, 3, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferSpec(0, "A", "B", total_flits=0, max_packet_flits=2)
+        with pytest.raises(ValueError):
+            TransferSpec(0, "A", "B", total_flits=2, max_packet_flits=0)
+
+
+class TestEndToEnd:
+    def test_transfer_over_ring(self):
+        n = 8
+        net = ring(n)
+        fn = clockwise_ring(net, n)
+        plans, specs = segment_transfers(
+            [TransferSpec(0, 0, 4, total_flits=12, max_packet_flits=4)]
+        )
+        res = Simulator(net, fn, specs, config=SimConfig(max_cycles=500)).run()
+        reports = reassemble(plans, res)
+        r = reports[0]
+        assert r.complete
+        assert r.in_order  # oblivious: same path, injection order preserved
+        assert r.flits_delivered == 12
+        assert r.transfer_latency is not None
+
+    def test_two_competing_transfers_on_mesh(self):
+        net = mesh((4, 4))
+        fn = dimension_order_mesh(net, 2)
+        plans, specs = segment_transfers(
+            [
+                TransferSpec(0, (0, 0), (3, 3), total_flits=20, max_packet_flits=5),
+                TransferSpec(1, (3, 0), (0, 3), total_flits=20, max_packet_flits=5),
+            ]
+        )
+        res = Simulator(net, fn, specs, config=SimConfig(max_cycles=2000)).run()
+        for r in reassemble(plans, res):
+            assert r.complete and r.in_order
+
+    def test_packetization_beats_one_big_message_under_contention(self):
+        """Smaller packets release channels sooner: cross traffic suffers
+        less when the big transfer is packetized."""
+        n = 10
+        latency_of_probe = {}
+        for max_pkt in (30, 5):
+            net = ring(n)
+            fn = clockwise_ring(net, n)
+            plans, specs = segment_transfers(
+                [TransferSpec(0, 0, 6, total_flits=30, max_packet_flits=max_pkt)]
+            )
+            from repro.sim.message import MessageSpec
+
+            probe = MessageSpec(99, 3, 5, length=2, inject_time=6, tag="probe")
+            res = Simulator(
+                net, fn, specs + [probe], config=SimConfig(max_cycles=2000)
+            ).run()
+            assert res.completed
+            latency_of_probe[max_pkt] = res.messages[99].latency()
+        assert latency_of_probe[5] < latency_of_probe[30]
+
+    def test_incomplete_transfer_reported(self):
+        """A deadlocked run yields complete=False, not a crash."""
+        n = 6
+        net = ring(n)
+        fn = clockwise_ring(net, n)
+        from repro.sim.message import MessageSpec
+
+        plans, specs = segment_transfers(
+            [TransferSpec(0, 0, 3, total_flits=8, max_packet_flits=8)]
+        )
+        jam = [MessageSpec(50 + i, i, (i + 3) % n, length=9) for i in range(n)]
+        res = Simulator(net, fn, specs + jam, config=SimConfig(max_cycles=300)).run()
+        reports = reassemble(plans, res)
+        assert not reports[0].complete
+        assert reports[0].finish_cycle is None

@@ -1,0 +1,94 @@
+"""Switching-technique continuum tests (wormhole / SAF / VCT -- paper Sec. 1)."""
+
+import pytest
+
+from repro.routing import clockwise_ring
+from repro.sim import MessageSpec, SimConfig, Simulator
+from repro.topology import ring
+
+
+def run_single(config: SimConfig, *, hops=4, length=5, n=8):
+    net = ring(n)
+    sim = Simulator(
+        net, clockwise_ring(net, n), [MessageSpec(0, 0, hops, length=length)], config=config
+    )
+    res = sim.run()
+    assert res.completed
+    return res.messages[0].latency()
+
+
+class TestStoreAndForward:
+    def test_latency_scales_with_hops_times_length(self):
+        lat_wh = run_single(SimConfig(), hops=4, length=5)
+        lat_sf = run_single(SimConfig.store_and_forward(5), hops=4, length=5)
+        assert lat_wh == 4 + 5 - 1
+        # SAF buffers the whole message at every hop: ~hops * length
+        assert lat_sf >= 4 * 5
+        assert lat_sf > lat_wh
+
+    def test_distance_sensitivity(self):
+        """The paper: wormhole latency is distance-insensitive, SAF's is not."""
+        wh = [run_single(SimConfig(), hops=h, length=6) for h in (2, 6)]
+        sf = [run_single(SimConfig.store_and_forward(6), hops=h, length=6) for h in (2, 6)]
+        assert wh[1] - wh[0] == 4  # one cycle per extra hop
+        assert sf[1] - sf[0] >= 4 * 4  # ~length cycles per extra hop
+
+    def test_rejects_undersized_buffers(self):
+        net = ring(4)
+        with pytest.raises(ValueError, match="buffer_depth"):
+            Simulator(
+                net,
+                clockwise_ring(net, 4),
+                [MessageSpec(0, 0, 2, length=5)],
+                config=SimConfig(buffer_depth=2, switching="store_and_forward"),
+            )
+
+    def test_message_occupies_one_channel_at_a_time(self):
+        """A SAF message in steady state holds at most two channels
+        (draining the old queue into the new one)."""
+        n = 8
+        net = ring(n)
+        sim = Simulator(
+            net,
+            clockwise_ring(net, n),
+            [MessageSpec(0, 0, 5, length=4)],
+            config=SimConfig.store_and_forward(4),
+        )
+        max_held = 0
+        for _ in range(60):
+            sim.step()
+            max_held = max(max_held, len(sim.messages[0].acquired))
+        assert max_held <= 2
+
+
+class TestVirtualCutThrough:
+    def test_unobstructed_latency_matches_wormhole(self):
+        lat_wh = run_single(SimConfig(), hops=5, length=4)
+        lat_vct = run_single(SimConfig.virtual_cut_through(4), hops=5, length=4)
+        assert lat_vct == lat_wh  # VCT only differs under blocking
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="switching"):
+            SimConfig(switching="carrier-pigeon")
+
+
+class TestBlockedFootprint:
+    def test_vct_blocked_message_frees_the_path_behind(self):
+        """Under VCT a blocked message sits in one queue; under wormhole it
+        sprawls -- the paper's motivation for the buffer/latency tradeoff."""
+        n = 10
+        specs = [
+            MessageSpec(0, 5, 9, length=40),  # blocker
+            MessageSpec(1, 0, 7, length=5, inject_time=1),
+        ]
+        held = {}
+        for name, cfg in [
+            ("wormhole", SimConfig()),
+            ("vct", SimConfig.virtual_cut_through(40)),
+        ]:
+            net = ring(n)
+            sim = Simulator(net, clockwise_ring(net, n), specs, config=cfg)
+            for _ in range(25):
+                sim.step()
+            held[name] = len(sim.messages[1].acquired)
+        assert held["vct"] < held["wormhole"]

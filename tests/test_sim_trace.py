@@ -1,0 +1,52 @@
+"""TraceRecorder tests."""
+
+from repro.routing import clockwise_ring
+from repro.sim import MessageSpec, Simulator
+from repro.sim.trace import TraceRecorder
+from repro.topology import ring
+
+
+def make_run():
+    net = ring(6)
+    rec = TraceRecorder()
+    sim = Simulator(
+        net, clockwise_ring(net, 6), [MessageSpec(0, 0, 2, length=3, tag="probe")],
+        trace=rec,
+    )
+    sim.run()
+    return rec
+
+
+def test_events_collected():
+    rec = make_run()
+    kinds = {k for _, k, _ in rec.events}
+    assert {"inject", "advance", "arrive", "consume", "release", "deliver"} <= kinds
+
+
+def test_of_kind_and_for_message():
+    rec = make_run()
+    assert all(k == "inject" for _, k, _ in rec.of_kind("inject"))
+    assert all(d.get("mid") == 0 for _, _, d in rec.for_message(0))
+    assert rec.for_message(99) == []
+
+
+def test_first():
+    rec = make_run()
+    assert rec.first("inject", 0) == 0
+    assert rec.first("deliver", 0) == 2 + 3 - 1
+    assert rec.first("nonexistent", 0) is None
+
+
+def test_clear():
+    rec = make_run()
+    rec.clear()
+    assert rec.events == []
+
+
+def test_render_and_limit():
+    rec = make_run()
+    out = rec.render(limit=3)
+    assert "more events" in out
+    assert out.count("\n") == 3
+    full = rec.render(limit=10_000)
+    assert "more events" not in full

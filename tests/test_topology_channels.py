@@ -1,0 +1,42 @@
+"""Channel model unit tests."""
+
+import pytest
+
+from repro.topology import Network
+from repro.topology.channels import Channel
+
+
+def test_channel_identity_by_cid():
+    a = Channel(cid=0, src="A", dst="B")
+    b = Channel(cid=0, src="X", dst="Y")
+    c = Channel(cid=1, src="A", dst="B")
+    assert a == b  # equality is by cid only
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_channel_endpoints_and_short():
+    ch = Channel(cid=3, src="A", dst="B", vc=2)
+    assert ch.endpoints == ("A", "B")
+    assert ch.short() == "A->B#2"
+    labelled = Channel(cid=4, src="A", dst="B", label="cs")
+    assert labelled.short() == "cs"
+
+
+def test_channel_vc_default_zero():
+    ch = Channel(cid=0, src=1, dst=2)
+    assert ch.vc == 0
+    assert ch.short() == "1->2"
+
+
+def test_channels_usable_as_graph_nodes():
+    net = Network()
+    c1 = net.add_channel("A", "B")
+    c2 = net.add_channel("B", "A")
+    seen = {c1: "x", c2: "y"}
+    assert seen[c1] == "x" and seen[c2] == "y"
+
+
+def test_channel_repr_contains_endpoints():
+    ch = Channel(cid=7, src="P1", dst="D4", label="ring0")
+    assert "P1" in repr(ch) and "D4" in repr(ch)

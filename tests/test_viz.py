@@ -1,0 +1,72 @@
+"""Visualization (DOT / timeline) tests."""
+
+from repro.analysis import SystemSpec, search_deadlock
+from repro.cdg import build_cdg, find_cycles
+from repro.core.two_message import build_two_message_config
+from repro.routing import RoutingAlgorithm, clockwise_ring
+from repro.sim import MessageSpec, Simulator
+from repro.topology import ring
+from repro.viz import cdg_to_dot, network_to_dot, occupancy_snapshot, witness_timeline
+
+
+def test_network_to_dot_structure():
+    net = ring(4)
+    dot = network_to_dot(net)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") == 4
+    assert '"0" -> "1"' in dot
+
+
+def test_network_to_dot_highlight():
+    net = ring(4)
+    hot = net.channels[:2]
+    dot = network_to_dot(net, highlight=hot)
+    assert dot.count('color="red"') == 2
+
+
+def test_cdg_to_dot_cycle_marked():
+    net = ring(4)
+    alg = RoutingAlgorithm(clockwise_ring(net, 4))
+    cdg = build_cdg(alg)
+    cycle = find_cycles(cdg).cycles[0]
+    dot = cdg_to_dot(cdg, cycle=cycle)
+    assert dot.count("penwidth=2.0") == len(cycle)
+
+
+def test_dot_escapes_quotes():
+    from repro.topology import Network
+
+    net = Network('weird"name')
+    net.add_channel("a", "b")
+    dot = network_to_dot(net)
+    assert r"\"" in dot
+
+
+def test_witness_timeline_glyphs():
+    cfg = build_two_message_config()
+    res = search_deadlock(SystemSpec.uniform(cfg.checker_messages()))
+    out = witness_timeline(res.witness)
+    assert "M1" in out and "M2" in out
+    assert "I" in out  # injection glyph
+    assert ">" in out  # advance glyph
+    assert "legend:" in out
+    # deadlocked messages are starred
+    assert "*" in out
+
+
+def test_occupancy_snapshot():
+    net = ring(6)
+    sim = Simulator(net, clockwise_ring(net, 6), [MessageSpec(0, 0, 4, length=8)])
+    for _ in range(3):
+        sim.step()
+    out = occupancy_snapshot(sim)
+    assert "owner=m0" in out
+    assert "cycle 3" in out
+
+
+def test_occupancy_snapshot_empty():
+    net = ring(6)
+    sim = Simulator(net, clockwise_ring(net, 6), [])
+    out = occupancy_snapshot(sim)
+    assert "all channels free" in out

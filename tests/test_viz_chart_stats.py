@@ -1,0 +1,72 @@
+"""ASCII chart and channel-utilization stats tests."""
+
+import pytest
+
+from repro.routing import clockwise_ring
+from repro.sim import MessageSpec, SimConfig, Simulator
+from repro.topology import ring
+from repro.viz import ascii_chart, bar_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_monotone_series_shape(self):
+        pts = [(m, m) for m in range(1, 6)]
+        out = ascii_chart(pts, x_label="m", y_label="delay")
+        lines = out.splitlines()
+        assert lines[0].startswith("delay")
+        assert lines[-1].strip().startswith("m:")
+        # 5 markers plotted
+        assert sum(line.count("*") for line in lines) == 5
+        # monotone: marker column increases with row from bottom to top
+        cols = {}
+        for r, line in enumerate(lines[1:-2]):
+            if "*" in line:
+                cols[r] = line.index("*")
+        rows_sorted = sorted(cols)
+        assert all(
+            cols[a] > cols[b] for a, b in zip(rows_sorted, rows_sorted[1:])
+        )
+
+    def test_degenerate_constant_series(self):
+        out = ascii_chart([(0, 5), (1, 5), (2, 5)])
+        assert out.count("*") == 3
+
+    def test_bar_chart(self):
+        out = bar_chart({"ring0": 0.9, "ring1": 0.3})
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert bar_chart({}) == "(no data)"
+
+
+class TestUtilizationStats:
+    def _run(self, track):
+        net = ring(6)
+        sim = Simulator(
+            net,
+            clockwise_ring(net, 6),
+            [MessageSpec(0, 0, 3, length=6)],
+            config=SimConfig(track_utilization=track),
+        )
+        return sim.run()
+
+    def test_untracked_by_default(self):
+        res = self._run(False)
+        assert res.stats.channel_busy_cycles == {}
+        assert res.stats.channel_utilization(0) == 0.0
+
+    def test_tracked_utilization(self):
+        res = self._run(True)
+        stats = res.stats
+        assert stats.channel_busy_cycles  # something was busy
+        # channel 0 (first hop) is busy while all 6 flits stream through
+        assert stats.channel_utilization(0) > 0
+        assert all(0.0 <= u <= 1.0 for _, u in stats.hottest_channels(10))
+
+    def test_hottest_ordering(self):
+        res = self._run(True)
+        hot = res.stats.hottest_channels(3)
+        utils = [u for _, u in hot]
+        assert utils == sorted(utils, reverse=True)
