@@ -14,8 +14,6 @@ import pytest
 from benchmarks.conftest import emit
 from repro.analysis import SystemSpec, search_deadlock
 from repro.analysis.schedules import witness_to_schedule
-from repro.analysis.state import CheckerMessage
-from repro.core.cyclic_dependency import build_cyclic_dependency_network
 from repro.core.two_message import build_two_message_config
 from repro.experiments import render_table
 from repro.sim import (
@@ -88,22 +86,33 @@ def test_ablation_buffer_depth():
 
 
 def test_ablation_message_length_on_fig1(benchmark):
-    """Longer cycle messages never make Figure 1 deadlock (Theorem 1)."""
-    cdn = build_cyclic_dependency_network()
-    base = cdn.checker_messages()
+    """Longer cycle messages never make Figure 1 deadlock (Theorem 1).
+
+    The length sweep goes through the campaign runner (the same tasks the
+    ``paper-battery`` spec issues), exercising the orchestration path the
+    CLI sweeps use.
+    """
+    from repro.campaign import CampaignTask, run_campaign
+
     rows = []
 
     def sweep():
-        for extra in (0, 1, 2):
-            msgs = [CheckerMessage(m.path, m.length + extra, m.tag) for m in base]
-            res = search_deadlock(
-                SystemSpec.uniform(msgs, budget=0), find_witness=False
+        tasks = [
+            CampaignTask.make("reachability", "fig1", expect="unreachable")
+        ] + [
+            CampaignTask.make(
+                "reachability", "fig1", extra_length=extra, expect="unreachable"
             )
+            for extra in (1, 2)
+        ]
+        results, summary = run_campaign(tasks)
+        assert summary.all_expected
+        for task, res in zip(tasks, results):
             rows.append(
                 {
-                    "length": f"min+{extra}",
-                    "deadlock": res.deadlock_reachable,
-                    "states": res.states_explored,
+                    "length": f"min+{task.params_dict().get('extra_length', 0)}",
+                    "deadlock": res.verdict == "deadlock",
+                    "states": res.detail["states_explored"],
                 }
             )
         return rows

@@ -7,44 +7,60 @@ reach a deadlock.  The paper's claim -- confirmed here -- is that the
 threshold grows without bound, so the Figure 1 idea survives arbitrary
 clock skew if the network is scaled accordingly.
 
-Run:  python examples/generalization_sweep.py [max_m]
-(m = 3 takes about a minute; each further step is several times slower)
+The sweep goes through the campaign runner: ``--jobs`` fans the per-m
+searches out across processes, and ``--cache-dir`` memoises verdicts so a
+re-run (or a later ``python -m repro campaign run --spec paper-battery``,
+which issues the identical tasks) is instant.
+
+Run:  python examples/generalization_sweep.py [max_m] [--jobs N] [--cache-dir D]
+(m = 3 takes about a minute cold; each further step is several times slower)
 """
 
-import sys
-import time
+import argparse
 
-from repro.analysis.delay import min_delay_to_deadlock
-from repro.core.generalized import build_generalized, generalized_messages
+from repro.campaign.adapters import run_tasks
+from repro.campaign.specs import gen_tasks
+from repro.core.generalized import build_generalized
 from repro.viz import ascii_chart
 
 
-def main(max_m: int = 3):
+def main(max_m: int = 3, *, jobs: int = 1, cache_dir: str | None = None):
+    tasks = gen_tasks(tuple(range(1, max_m + 1)))
+    results, summary = run_tasks(
+        tasks, jobs=jobs, cache_dir=cache_dir, spec_name="gen-example"
+    )
     series = []
-    print("m   ring  approaches  holds       min-delay  seconds")
-    print("-" * 58)
-    for m in range(1, max_m + 1):
+    print("m   ring  approaches  holds       min-delay  seconds    source")
+    print("-" * 66)
+    for task, res in zip(tasks, results):
+        if not res.ok:
+            raise SystemExit(f"task failed: {res.name}: {res.error}")
+        m = int(task.params_dict()["m"])
         c = build_generalized(m)
-        t0 = time.time()
-        res = min_delay_to_deadlock(
-            generalized_messages(m), max_delay=m + 3, max_states=40_000_000
-        )
-        dt = time.time() - t0
+        min_delay = res.detail["min_delay"]
+        assert min_delay != 0, "Gen(m) must be deadlock-free under synchrony"
         approaches = [s.approach_len for s in c.specs]
         holds = [s.hold_len for s in c.specs]
         print(
             f"{m:<3} {len(c.cycle_channels):<5} {str(approaches):<11} "
-            f"{str(holds):<11} {str(res.min_delay):<10} {dt:.1f}"
+            f"{str(holds):<11} {str(min_delay):<10} {res.wall_time:<9.1f} "
+            f"{res.source}"
         )
-        assert res.deadlock_free_under_synchrony
-        if res.min_delay is not None:
-            series.append((m, res.min_delay))
+        if min_delay is not None:
+            series.append((m, min_delay))
     if len(series) > 1:
         print()
         print(ascii_chart(series, x_label="m", y_label="min delay Δ*(m)"))
+    print(f"\n({summary.live} searched live, {summary.from_cache} from cache, "
+          f"{summary.workers} worker(s), {summary.wall_time:.1f}s)")
     print("\npaper: 'a network configuration can be constructed requiring any")
     print("amount of extra delay before deadlock can occur' -- measured Δ*(m) = m.")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("max_m", type=int, nargs="?", default=3)
+    ap.add_argument("--jobs", type=int, default=1)
+    ap.add_argument("--cache-dir", default=None)
+    args = ap.parse_args()
+    main(args.max_m, jobs=args.jobs, cache_dir=args.cache_dir)

@@ -1,0 +1,49 @@
+"""Verification-campaign orchestration: fan sweeps out, cache verdicts, keep books.
+
+Every paper artifact is reproduced by an exhaustive state-space search or a
+traffic simulation.  A *campaign* is a batch of such unit verifications
+described declaratively, executed in parallel, memoised on disk, and
+recorded in an append-only ledger:
+
+:mod:`tasks`      -- :class:`CampaignTask`, the frozen content-addressed unit
+                     of work, and :func:`execute_task`, its interpreter.
+:mod:`scenarios`  -- the registry mapping scenario names to constructions
+                     (Figure 1--3 families, Theorem 2/3 sweeps, ``Gen(m)``,
+                     baseline topologies, traffic workloads).
+:mod:`runner`     -- :func:`run_campaign`, a ``ProcessPoolExecutor`` pool
+                     with per-task timeout, bounded retry, and a serial
+                     in-process fallback.
+:mod:`cache`      -- :class:`ResultCache`, JSON files keyed by task hash +
+                     schema salt, with hit/miss/stale accounting.
+:mod:`ledger`     -- :class:`RunLedger` (JSONL) + :class:`CampaignSummary`.
+:mod:`progress`   -- periodic done/total/rate/ETA reporting.
+:mod:`specs`      -- built-in campaign specs (``paper-battery``, ``quick``).
+:mod:`adapters`   -- experiment-shaped front-ends used by the CLI sweeps.
+
+See ``docs/CAMPAIGN.md`` for the task model, cache keying, and ledger
+schema.
+"""
+
+from repro.campaign.tasks import CampaignTask, TaskResult, execute_task, SCHEMA_VERSION
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.ledger import CampaignSummary, RunLedger, read_ledger
+from repro.campaign.runner import RunnerConfig, run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.specs import build_spec, spec_names
+
+__all__ = [
+    "CampaignTask",
+    "TaskResult",
+    "execute_task",
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "CacheStats",
+    "RunLedger",
+    "CampaignSummary",
+    "read_ledger",
+    "RunnerConfig",
+    "run_campaign",
+    "ProgressReporter",
+    "build_spec",
+    "spec_names",
+]

@@ -1,0 +1,158 @@
+"""Experiment-shaped front-ends over the campaign runner.
+
+The existing sweep commands (``fig3 --sweep``, ``gen``, ``theorem3``) and
+the sweep examples/benchmarks predate the campaign subsystem and return
+experiment result objects.  These adapters rebuild those objects from
+campaign task results, so callers keep their result types while gaining
+parallelism (``--jobs``) and the content-addressed cache (``--cache-dir``).
+Task parameters deliberately match the ``paper-battery`` spec's, so a CLI
+sweep warms the cache for a later full battery run and vice versa.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.ledger import CampaignSummary, RunLedger
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.runner import RunnerConfig, run_campaign
+from repro.campaign.specs import fig3_sweep_tasks, gen_tasks, theorem3_tasks
+from repro.campaign.tasks import CampaignTask, TaskResult
+
+
+def run_tasks(
+    tasks: Sequence[CampaignTask],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    ledger_path: str | Path | None = None,
+    progress: bool = False,
+    task_timeout: float | None = None,
+    retries: int = 1,
+    spec_name: str = "",
+) -> tuple[list[TaskResult], CampaignSummary]:
+    """One-call campaign execution with optional cache/ledger/progress."""
+    cache = ResultCache(Path(cache_dir)) if cache_dir else None
+    ledger = RunLedger(ledger_path) if ledger_path else None
+    reporter = ProgressReporter(len(tasks), enabled=progress)
+    try:
+        return run_campaign(
+            tasks,
+            cache=cache,
+            ledger=ledger,
+            progress=reporter,
+            config=RunnerConfig(
+                max_workers=jobs, task_timeout=task_timeout, retries=retries
+            ),
+            spec_name=spec_name,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
+
+
+def fig3_sweep_via_campaign(
+    samples: int,
+    *,
+    seed: int = 7,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+):
+    """Conditions-vs-search agreement, computed from campaign results.
+
+    Returns the same :class:`repro.experiments.fig3.SweepAgreement` shape
+    as ``run_condition_sweep`` over the identical random draw.
+    """
+    from repro.experiments.fig3 import SweepAgreement
+
+    tasks = fig3_sweep_tasks(samples, seed=seed)
+    results, _ = run_tasks(
+        tasks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        spec_name="fig3-sweep",
+    )
+    agree = 0
+    disagreements: list[dict[str, object]] = []
+    for res in results:
+        if not res.ok:
+            raise RuntimeError(f"sweep task failed: {res.name}: {res.error}")
+        conds = bool(res.detail["conditions_unreachable"])
+        if conds == (res.verdict == "unreachable"):
+            agree += 1
+        else:
+            disagreements.append(
+                {
+                    "d": tuple(res.params["approaches"]),
+                    "hold": tuple(res.params["holds"]),
+                    "search": res.verdict,
+                    "conds": "unreachable" if conds else "deadlock",
+                    "failed": res.detail.get("failed_conditions", []),
+                }
+            )
+    return SweepAgreement(
+        total=len(results), agree=agree, disagreements=disagreements
+    )
+
+
+def generalization_via_campaign(
+    params: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    max_states: int = 40_000_000,
+    progress: bool = False,
+):
+    """The Δ*(m) profile as a :class:`GeneralizationResult`."""
+    from repro.experiments.generalization import GeneralizationResult
+
+    tasks = gen_tasks(tuple(params), max_states=max_states)
+    results, _ = run_tasks(
+        tasks, jobs=jobs, cache_dir=cache_dir, progress=progress, spec_name="gen"
+    )
+    profile: dict[int, int | None] = {}
+    for task, res in zip(tasks, results):
+        if not res.ok:
+            raise RuntimeError(f"gen task failed: {res.name}: {res.error}")
+        profile[int(task.params_dict()["m"])] = res.detail["min_delay"]
+    return GeneralizationResult(profile=profile)
+
+
+def theorem3_via_campaign(
+    *,
+    limit: int | None = 40,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+):
+    """The Theorem 3 sweep as a :class:`Theorem3Result`."""
+    from repro.core.minimal_search import (
+        MinimalSweepRecord,
+        MinimalSweepResult,
+        fig1_nonminimality_certificate,
+    )
+    from repro.experiments.theorem3 import Theorem3Result
+
+    tasks = theorem3_tasks(limit=limit)
+    results, _ = run_tasks(
+        tasks, jobs=jobs, cache_dir=cache_dir, progress=progress, spec_name="theorem3"
+    )
+    sweep = MinimalSweepResult()
+    for res in results:
+        if not res.ok:
+            raise RuntimeError(f"theorem3 task failed: {res.name}: {res.error}")
+        sweep.records.append(
+            MinimalSweepRecord(
+                params=tuple(
+                    zip(res.params["approaches"], res.params["holds"])
+                ),
+                minimal=bool(res.detail["minimal"]),
+                deadlock_reachable=res.verdict == "deadlock",
+                states_explored=int(res.detail.get("states_explored", 0)),
+            )
+        )
+    return Theorem3Result(sweep=sweep, fig1_slack=fig1_nonminimality_certificate())

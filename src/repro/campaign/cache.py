@@ -1,0 +1,123 @@
+"""Content-addressed result cache: one JSON file per task hash.
+
+Layout: ``<root>/<first 2 hash chars>/<task_hash>.json`` containing the
+schema salt, the task description (for human inspection -- lookups never
+trust it), and the serialised :class:`~repro.campaign.tasks.TaskResult`.
+
+Keying is ``task_hash`` (canonical-JSON sha256 of kind/scenario/params)
+plus the salt ``campaign-v<SCHEMA_VERSION>``: bumping ``SCHEMA_VERSION``
+invalidates every entry at once, and a salt mismatch counts as *stale*
+rather than a miss so re-verification pressure is visible in the stats.
+Corrupt or unreadable entries are likewise stale, never fatal.
+
+Failed results (``ok=False``) are not cached: a crashed or timed-out task
+should re-run, not replay its failure forever.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.tasks import SCHEMA_VERSION, CampaignTask, TaskResult
+
+DEFAULT_CACHE_DIR = ".campaign-cache"
+
+
+def schema_salt() -> str:
+    return f"campaign-v{SCHEMA_VERSION}"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.stale
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_json(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "writes": self.writes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class ResultCache:
+    root: Path
+    salt: str = field(default_factory=schema_salt)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, task_hash: str) -> Path:
+        return self.root / task_hash[:2] / f"{task_hash}.json"
+
+    def get(self, task: CampaignTask) -> TaskResult | None:
+        """Cached result, or None (accounting the miss/stale reason)."""
+        path = self._path(task.task_hash)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("schema") != self.salt:
+                self.stats.stale += 1
+                return None
+            result = TaskResult.from_json(entry["result"])
+        except (OSError, ValueError, KeyError):
+            self.stats.stale += 1
+            return None
+        self.stats.hits += 1
+        result.source = "cache"
+        # expectations are advisory metadata: honour the *current* task's
+        result.expect = task.expect
+        return result
+
+    def put(self, task: CampaignTask, result: TaskResult) -> None:
+        if not result.ok:
+            return
+        path = self._path(task.task_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": self.salt,
+            "task_hash": task.task_hash,
+            "task": task.to_json(),
+            "saved_at": time.time(),
+            "result": result.to_json(),
+        }
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=1, sort_keys=True)
+        tmp.replace(path)  # atomic publish: readers never see half a file
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for sub in self.root.iterdir():
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed

@@ -1,0 +1,76 @@
+"""Periodic campaign progress reporting: done/total, rate, ETA, cache hits.
+
+Writes single-line updates to a stream (stderr by default) at most once
+per ``interval`` seconds, plus a final line when the campaign completes.
+Silent when ``enabled=False`` (tests, ``--no-progress``) -- the reporter
+is always safe to call.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.campaign.tasks import TaskResult
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressReporter:
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        interval: float = 2.0,
+        enabled: bool = True,
+        label: str = "campaign",
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.enabled = enabled
+        self.label = label
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._start = time.monotonic()
+        self._last_emit = 0.0
+
+    def update(self, result: TaskResult) -> None:
+        self.done += 1
+        if result.source == "cache":
+            self.cached += 1
+        if not result.ok:
+            self.failed += 1
+        now = time.monotonic()
+        if self.done == self.total or now - self._last_emit >= self.interval:
+            self._emit(now)
+            self._last_emit = now
+
+    def _emit(self, now: float) -> None:
+        if not self.enabled:
+            return
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        remaining = self.total - self.done
+        eta = _fmt_eta(remaining / rate) if rate > 0 and remaining else "0s"
+        line = (
+            f"{self.label}: {self.done}/{self.total} done "
+            f"({rate:.1f}/s, eta {eta}, cache {self.cached}"
+        )
+        if self.failed:
+            line += f", failed {self.failed}"
+        line += ")"
+        print(line, file=self.stream, flush=True)
+
+    def close(self) -> None:
+        if self.enabled and self.done != self.total:
+            self._emit(time.monotonic())

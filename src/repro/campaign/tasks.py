@@ -1,0 +1,363 @@
+"""The campaign task model: frozen, hashable, content-addressed work units.
+
+A :class:`CampaignTask` names *what* to verify -- a registered scenario
+(construction) plus parameters -- and *how* -- the analysis kind:
+
+``reachability``
+    exhaustive deadlock search (:func:`repro.analysis.search_deadlock`);
+``classify``
+    full-adversary classification, either of a fixed message set
+    (:func:`repro.analysis.classify.classify_configuration`) or of a CDG
+    cycle (:func:`repro.analysis.classify.classify_cycle`), per scenario;
+``min_delay``
+    the Section 6 stall-budget sweep
+    (:func:`repro.analysis.delay.min_delay_to_deadlock`);
+``simulate``
+    a timed flit-level run (:class:`repro.sim.engine.Simulator`);
+``cdg``
+    channel-dependency-graph structure checks (acyclicity + Dally--Seitz
+    numbering) for the corollary baselines.
+
+Identity is the sha256 of the canonical JSON of ``(kind, scenario,
+params)`` -- stable across process restarts, dict orderings, and Python
+versions -- which keys both the result cache and the run ledger.  The
+``expect`` field is advisory (the paper's stated verdict) and deliberately
+excluded from identity and equality.
+
+``execute_task`` is module-level and operates on plain picklable data so
+the parallel runner can ship tasks to worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: bump when the result payload or task semantics change; salts the cache key
+SCHEMA_VERSION = 1
+
+ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg")
+
+Params = tuple[tuple[str, Any], ...]
+
+
+def _canonical_value(v: Any) -> Any:
+    """Normalise a parameter value to a hashable, JSON-stable form."""
+    if isinstance(v, bool) or v is None or isinstance(v, (int, str)):
+        return v
+    if isinstance(v, float):
+        return v
+    if isinstance(v, (list, tuple)):
+        return tuple(_canonical_value(x) for x in v)
+    raise TypeError(f"unsupported campaign parameter type {type(v).__name__}: {v!r}")
+
+
+def _jsonable(v: Any) -> Any:
+    """Tuples -> lists, recursively, for canonical JSON."""
+    if isinstance(v, tuple):
+        return [_jsonable(x) for x in v]
+    return v
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One unit of verification work; identity = content hash."""
+
+    kind: str
+    scenario: str
+    params: Params = ()
+    #: paper-stated verdict, e.g. ``"unreachable"`` / ``"deadlock"`` --
+    #: advisory metadata, excluded from identity (compare/hash)
+    expect: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ANALYSIS_KINDS:
+            raise ValueError(
+                f"unknown analysis kind {self.kind!r}; expected one of {ANALYSIS_KINDS}"
+            )
+        # normalise params: sorted by key, canonical hashable values
+        norm = tuple(
+            sorted((str(k), _canonical_value(v)) for k, v in self.params)
+        )
+        keys = [k for k, _ in norm]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate parameter keys in {keys}")
+        object.__setattr__(self, "params", norm)
+
+    @classmethod
+    def make(
+        cls, kind: str, scenario: str, *, expect: str | None = None, **params: Any
+    ) -> "CampaignTask":
+        """Build a task from keyword parameters (any ordering)."""
+        return cls(
+            kind=kind, scenario=scenario, params=tuple(params.items()), expect=expect
+        )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """Canonical JSON of the identity-bearing fields."""
+        payload = {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "params": {k: _jsonable(v) for k, v in self.params},
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def task_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @property
+    def name(self) -> str:
+        """Human-readable label for ledgers and progress lines."""
+        ps = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scenario}({ps}):{self.kind}"
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "params": {k: _jsonable(v) for k, v in self.params},
+            "expect": self.expect,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CampaignTask":
+        return cls(
+            kind=data["kind"],
+            scenario=data["scenario"],
+            params=tuple(data.get("params", {}).items()),
+            expect=data.get("expect"),
+        )
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, in ledger/cache-ready form."""
+
+    task_hash: str
+    name: str
+    kind: str
+    scenario: str
+    params: dict[str, Any]
+    verdict: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    ok: bool = True
+    error: str | None = None
+    wall_time: float = 0.0
+    worker: str = ""
+    source: str = "live"  # "live" | "cache"
+    attempts: int = 1
+    expect: str | None = None
+
+    @property
+    def expect_matches(self) -> bool | None:
+        """None when no expectation was declared."""
+        if self.expect is None:
+            return None
+        return self.verdict == self.expect
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "task_hash": self.task_hash,
+            "name": self.name,
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+            "verdict": self.verdict,
+            "detail": {k: _jsonable(v) for k, v in self.detail.items()},
+            "ok": self.ok,
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "worker": self.worker,
+            "source": self.source,
+            "attempts": self.attempts,
+            "expect": self.expect,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "TaskResult":
+        return cls(
+            task_hash=data["task_hash"],
+            name=data.get("name", ""),
+            kind=data.get("kind", ""),
+            scenario=data.get("scenario", ""),
+            params=data.get("params", {}),
+            verdict=data.get("verdict", ""),
+            detail=data.get("detail", {}),
+            ok=data.get("ok", True),
+            error=data.get("error"),
+            wall_time=data.get("wall_time", 0.0),
+            worker=data.get("worker", ""),
+            source=data.get("source", "live"),
+            attempts=data.get("attempts", 1),
+            expect=data.get("expect"),
+        )
+
+
+# ----------------------------------------------------------------------
+# execution (module-level: must be importable/picklable from workers)
+# ----------------------------------------------------------------------
+def _run_reachability(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    from repro.analysis import SystemSpec, search_deadlock
+
+    spec = SystemSpec.uniform(bundle.messages, budget=int(p.get("budget", 0)))
+    res = search_deadlock(
+        spec,
+        max_states=int(p.get("max_states", 4_000_000)),
+        find_witness=False,
+    )
+    verdict = "deadlock" if res.deadlock_reachable else "unreachable"
+    return verdict, {"states_explored": res.states_explored}
+
+
+def _run_classify(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    from repro.analysis.classify import classify_configuration, classify_cycle
+
+    if bundle.cycle_classify is not None:
+        alg, cycle, pairs = bundle.cycle_classify
+        cls = classify_cycle(
+            alg,
+            cycle,
+            pairs=pairs,
+            length_slack=int(p.get("length_slack", 0)),
+            extra_copies=int(p.get("extra_copies", 1)),
+            budget=int(p.get("budget", 0)),
+            max_states=int(p.get("max_states", 2_000_000)),
+        )
+        verdict = "deadlock" if cls.deadlock_reachable else "unreachable"
+        return verdict, {
+            "tilings_tested": cls.tilings_tested,
+            "scenarios_tested": cls.scenarios_tested,
+        }
+    reachable, res = classify_configuration(
+        bundle.messages,
+        budget=int(p.get("budget", 0)),
+        copy_depth=int(p.get("copy_depth", 1)),
+        length_slack=int(p.get("length_slack", 0)),
+        max_states=int(p.get("max_states", 4_000_000)),
+    )
+    verdict = "deadlock" if reachable else "unreachable"
+    return verdict, {"states_explored": res.states_explored}
+
+
+def _run_min_delay(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    from repro.analysis.delay import min_delay_to_deadlock
+
+    res = min_delay_to_deadlock(
+        bundle.messages,
+        max_delay=int(p.get("max_delay", 8)),
+        max_states=int(p.get("max_states", 8_000_000)),
+    )
+    states = sum(r.states_explored for r in res.results.values())
+    if res.min_delay is None:
+        return "no-deadlock", {
+            "min_delay": None,
+            "max_delay_tested": res.max_delay_tested,
+            "states_explored": states,
+        }
+    return f"delta={res.min_delay}", {
+        "min_delay": res.min_delay,
+        "states_explored": states,
+    }
+
+
+def _run_simulate(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    from repro.sim import SimConfig, Simulator
+
+    net, routing, specs = bundle.sim
+    cfg = SimConfig(max_cycles=int(p.get("max_cycles", 60_000)))
+    sim = Simulator(net, routing, specs, config=cfg)
+    res = sim.run()
+    if res.deadlocked:
+        verdict = "deadlock"
+    elif res.timed_out:
+        verdict = "timeout"
+    else:
+        verdict = "delivered"
+    return verdict, {
+        "delivered": res.delivered,
+        "total": res.total,
+        "cycles": res.cycles,
+        "mean_latency": round(res.stats.mean_latency(), 2),
+        "throughput": round(res.stats.throughput_flits_per_cycle(), 3),
+    }
+
+
+def _run_cdg(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    from repro.cdg import build_cdg, dally_seitz_numbering, is_acyclic, verify_numbering
+
+    alg = bundle.algorithm
+    cdg = build_cdg(alg)
+    acyclic = is_acyclic(cdg)
+    detail: dict[str, Any] = {"acyclic": acyclic}
+    if acyclic:
+        numbering = dally_seitz_numbering(cdg)
+        detail["numbering_valid"] = verify_numbering(cdg, numbering)
+        return "acyclic", detail
+    return "cyclic", detail
+
+
+_KIND_RUNNERS = {
+    "reachability": _run_reachability,
+    "classify": _run_classify,
+    "min_delay": _run_min_delay,
+    "simulate": _run_simulate,
+    "cdg": _run_cdg,
+}
+
+
+def execute_task(task: CampaignTask, *, worker: str = "") -> TaskResult:
+    """Build the task's scenario and run its analysis.
+
+    Never raises for task-level failures: the error is captured in the
+    result (``ok=False``) so a single bad configuration cannot abort a
+    thousand-task campaign.  Infrastructure errors (pool breakage,
+    timeouts) are the runner's concern.
+    """
+    from repro.campaign.scenarios import build_scenario
+
+    p = task.params_dict()
+    t0 = time.perf_counter()
+    try:
+        bundle = build_scenario(task.scenario, p)
+        verdict, detail = _KIND_RUNNERS[task.kind](bundle, p)
+        detail.update(bundle.detail)
+        return TaskResult(
+            task_hash=task.task_hash,
+            name=task.name,
+            kind=task.kind,
+            scenario=task.scenario,
+            params=p,
+            verdict=verdict,
+            detail=detail,
+            ok=True,
+            wall_time=time.perf_counter() - t0,
+            worker=worker,
+            expect=task.expect,
+        )
+    except Exception as exc:  # noqa: BLE001 - captured into the result
+        return TaskResult(
+            task_hash=task.task_hash,
+            name=task.name,
+            kind=task.kind,
+            scenario=task.scenario,
+            params=p,
+            verdict="error",
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_time=time.perf_counter() - t0,
+            worker=worker,
+            expect=task.expect,
+        )

@@ -12,6 +12,15 @@ Examples
     python -m repro gen --max-m 3        # Section 6 delay profile
     python -m repro traffic              # simulator validation traffic runs
     python -m repro dot fig1-cdg         # DOT of the Figure 1 CDG
+
+    # verification campaigns: parallel, cached, ledgered sweeps
+    python -m repro campaign run --spec paper-battery --jobs 4
+    python -m repro campaign status
+    python -m repro campaign clean
+
+The sweep-shaped commands (``fig3 --sweep``, ``gen``, ``theorem3``) route
+through the campaign runner; ``--jobs``/``--cache-dir`` parallelise and
+memoise them.
 """
 
 from __future__ import annotations
@@ -45,13 +54,17 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments import render_table
-    from repro.experiments.fig3 import run_condition_sweep, run_fig3_experiment
+    from repro.experiments.fig3 import run_fig3_experiment
 
     panels = run_fig3_experiment()
     print(render_table([r.row() for r in panels], title="E3: Figure 3 / Theorem 5"))
     ok = all(r.search_matches_paper and r.conditions_match_search for r in panels)
     if args.sweep:
-        sweep = run_condition_sweep(samples=args.sweep)
+        from repro.campaign.adapters import fig3_sweep_via_campaign
+
+        sweep = fig3_sweep_via_campaign(
+            args.sweep, jobs=args.jobs, cache_dir=args.cache_dir
+        )
         print(
             f"\ncondition sweep: agree on {sweep.agree}/{sweep.total} "
             f"random configurations"
@@ -75,10 +88,12 @@ def _cmd_theorem2(args: argparse.Namespace) -> int:
 
 
 def _cmd_theorem3(args: argparse.Namespace) -> int:
+    from repro.campaign.adapters import theorem3_via_campaign
     from repro.experiments import render_kv
-    from repro.experiments.theorem3 import run_theorem3_experiment
 
-    res = run_theorem3_experiment(limit=args.limit)
+    res = theorem3_via_campaign(
+        limit=args.limit, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     print(render_kv(res.summary(), title="E5: Theorem 3 sweep"))
     print()
     print(render_kv(res.fig1_slack, title="Figure 1 per-pair excess hops (nonminimality)"))
@@ -86,11 +101,11 @@ def _cmd_theorem3(args: argparse.Namespace) -> int:
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.campaign.adapters import generalization_via_campaign
     from repro.experiments import render_table
-    from repro.experiments.generalization import run_generalization_experiment
 
-    res = run_generalization_experiment(
-        params=tuple(range(1, args.max_m + 1)), max_delay=args.max_m + 4
+    res = generalization_via_campaign(
+        tuple(range(1, args.max_m + 1)), jobs=args.jobs, cache_dir=args.cache_dir
     )
     print(render_table(res.rows(), title="E6: Gen(m) minimum delay to deadlock"))
     print(f"strictly increasing: {res.strictly_increasing}")
@@ -126,6 +141,108 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_ledger(cache_dir: str, spec: str) -> str:
+    from pathlib import Path
+
+    return str(Path(cache_dir) / "ledgers" / f"{spec}.jsonl")
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        ProgressReporter,
+        ResultCache,
+        RunLedger,
+        RunnerConfig,
+        build_spec,
+        run_campaign,
+    )
+    from repro.experiments import render_kv
+
+    try:
+        tasks = build_spec(args.spec, limit=args.limit)
+        config = RunnerConfig(
+            max_workers=args.jobs,
+            task_timeout=args.timeout,
+            retries=args.retries,
+        )
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    ledger_path = args.ledger or _default_ledger(args.cache_dir, args.spec)
+    with RunLedger(ledger_path) as ledger:
+        _, summary = run_campaign(
+            tasks,
+            cache=cache,
+            ledger=ledger,
+            progress=ProgressReporter(len(tasks), enabled=not args.no_progress),
+            config=config,
+            spec_name=args.spec,
+        )
+    rows = summary.rows()
+    rows["ledger"] = ledger_path
+    if cache is not None:
+        rows["cache dir"] = args.cache_dir
+        rows["cache hit rate"] = f"{cache.stats.hit_rate:.0%}"
+    print(render_kv(rows, title=f"campaign: {args.spec}"))
+    for mismatch in summary.expect_mismatches:
+        print(f"  MISMATCH {mismatch}")
+    return 0 if summary.all_expected else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import ResultCache, read_ledger
+    from repro.experiments import render_kv, render_table
+
+    cache = ResultCache(args.cache_dir)
+    print(render_kv(
+        {"cache dir": args.cache_dir, "cached results": len(cache)},
+        title="campaign cache",
+    ))
+    ledger_dir = Path(args.cache_dir) / "ledgers"
+    rows = []
+    for path in sorted(ledger_dir.glob("*.jsonl")):
+        results, summaries = read_ledger(path)
+        last = summaries[-1] if summaries else {}
+        rows.append(
+            {
+                "ledger": path.name,
+                "results": len(results),
+                "runs": len(summaries),
+                "last wall (s)": last.get("wall_time", "-"),
+                "last cache hits": last.get("from_cache", "-"),
+                "last failed": last.get("failed", "-"),
+                "last matches": (
+                    "-" if not last
+                    else not last.get("expect_mismatches") and not last.get("failed")
+                ),
+            }
+        )
+    print()
+    print(render_table(rows, title="campaign ledgers"))
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import ResultCache
+
+    removed = ResultCache(args.cache_dir).clear()
+    msg = f"removed {removed} cached results"
+    if args.ledgers:
+        n = 0
+        for path in (Path(args.cache_dir) / "ledgers").glob("*.jsonl"):
+            path.unlink()
+            n += 1
+        msg += f" and {n} ledgers"
+    print(msg + f" from {args.cache_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,8 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig2", help="Figure 2 / Theorem 4 sweep")
     p.set_defaults(fn=_cmd_fig2)
 
+    def add_runner_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="parallel worker processes for the sweep (default 1: serial)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="reuse/populate a campaign result cache at this directory",
+        )
+
     p = sub.add_parser("fig3", help="Figure 3 / Theorem 5 panels")
     p.add_argument("--sweep", type=int, default=0, help="random sweep sample count")
+    add_runner_flags(p)
     p.set_defaults(fn=_cmd_fig3)
 
     p = sub.add_parser("theorem2", help="Theorem 2 + corollary baselines")
@@ -150,10 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("theorem3", help="Theorem 3 minimal-routing sweep")
     p.add_argument("--limit", type=int, default=40)
+    add_runner_flags(p)
     p.set_defaults(fn=_cmd_theorem3)
 
     p = sub.add_parser("gen", help="Section 6 generalisation delay profile")
     p.add_argument("--max-m", type=int, default=2)
+    add_runner_flags(p)
     p.set_defaults(fn=_cmd_gen)
 
     p = sub.add_parser("traffic", help="simulator-validation traffic runs")
@@ -163,6 +293,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="emit Graphviz DOT renderings")
     p.add_argument("what", choices=["fig1-network", "fig1-cdg"])
     p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser(
+        "campaign", help="parallel verification campaigns (run/status/clean)"
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = csub.add_parser("run", help="execute a campaign spec")
+    pr.add_argument(
+        "--spec", default="paper-battery",
+        help="campaign spec name (default: paper-battery)",
+    )
+    pr.add_argument("--jobs", type=int, default=1, help="worker processes")
+    pr.add_argument("--cache-dir", default=".campaign-cache")
+    pr.add_argument("--no-cache", action="store_true", help="force live re-verification")
+    pr.add_argument(
+        "--ledger", default=None,
+        help="JSONL ledger path (default: <cache-dir>/ledgers/<spec>.jsonl)",
+    )
+    pr.add_argument("--limit", type=int, default=None, help="run only the first N tasks")
+    pr.add_argument(
+        "--timeout", type=float, default=None, help="per-task wall-clock timeout (s)"
+    )
+    pr.add_argument("--retries", type=int, default=1, help="retries per failed task")
+    pr.add_argument("--no-progress", action="store_true")
+    pr.set_defaults(fn=_cmd_campaign_run)
+
+    ps = csub.add_parser("status", help="summarise cache + ledgers")
+    ps.add_argument("--cache-dir", default=".campaign-cache")
+    ps.set_defaults(fn=_cmd_campaign_status)
+
+    pc = csub.add_parser("clean", help="drop cached results")
+    pc.add_argument("--cache-dir", default=".campaign-cache")
+    pc.add_argument("--ledgers", action="store_true", help="also delete ledgers")
+    pc.set_defaults(fn=_cmd_campaign_clean)
 
     return parser
 

@@ -1,0 +1,97 @@
+"""Result cache: hit/miss/stale paths, accounting, clearing."""
+
+import json
+
+from repro.campaign.cache import ResultCache, schema_salt
+from repro.campaign.tasks import CampaignTask, TaskResult, execute_task
+
+TASK = CampaignTask.make(
+    "reachability", "fig2-pair", d1=2, d2=1, hold=2, expect="deadlock"
+)
+
+
+def _result(task=TASK, **kw):
+    base = dict(
+        task_hash=task.task_hash,
+        name=task.name,
+        kind=task.kind,
+        scenario=task.scenario,
+        params=task.params_dict(),
+        verdict="deadlock",
+        detail={"states_explored": 123},
+    )
+    base.update(kw)
+    return TaskResult(**base)
+
+
+def test_miss_then_put_then_hit(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get(TASK) is None
+    assert cache.stats.misses == 1
+
+    cache.put(TASK, _result())
+    assert len(cache) == 1
+    hit = cache.get(TASK)
+    assert hit is not None
+    assert hit.verdict == "deadlock"
+    assert hit.source == "cache"
+    assert hit.detail["states_explored"] == 123
+    assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+
+def test_schema_salt_mismatch_is_stale_not_hit(tmp_path):
+    old = ResultCache(tmp_path / "c", salt="campaign-v0")
+    old.put(TASK, _result())
+    fresh = ResultCache(tmp_path / "c")  # current schema_salt()
+    assert fresh.salt == schema_salt() != "campaign-v0"
+    assert fresh.get(TASK) is None
+    assert fresh.stats.stale == 1 and fresh.stats.misses == 0
+
+
+def test_corrupt_entry_is_stale_never_fatal(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(TASK, _result())
+    (path,) = list((tmp_path / "c").glob("*/*.json"))
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(TASK) is None
+    assert cache.stats.stale == 1
+
+
+def test_failed_results_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(TASK, _result(ok=False, verdict="error", error="boom"))
+    assert len(cache) == 0
+    assert cache.get(TASK) is None  # a failure must re-run, not replay
+
+
+def test_hit_carries_current_expectation(tmp_path):
+    """`expect` is advisory run metadata, not part of the cached verdict."""
+    cache = ResultCache(tmp_path / "c")
+    cache.put(TASK, _result(expect=None))
+    hit = cache.get(TASK)
+    assert hit.expect == "deadlock"  # TASK's current expectation
+    assert hit.expect_matches is True
+
+
+def test_entry_keyed_by_content_hash(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    res = execute_task(TASK)
+    cache.put(TASK, res)
+    (path,) = list((tmp_path / "c").glob("*/*.json"))
+    assert path.stem == TASK.task_hash
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    assert entry["schema"] == schema_salt()
+    assert entry["task"]["scenario"] == "fig2-pair"
+
+    other = CampaignTask.make("reachability", "fig2-pair", d1=2, d2=1, hold=3)
+    assert cache.get(other) is None  # different params -> different key
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    for hold in (2, 3, 4):
+        task = CampaignTask.make("reachability", "fig2-pair", d1=1, d2=1, hold=hold)
+        cache.put(task, _result(task))
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0

@@ -1,0 +1,116 @@
+"""CLI: campaign run/status/clean and the sweep commands' runner flags."""
+
+import pytest
+
+from repro.campaign import build_spec, spec_names
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_campaign():
+    text = build_parser().format_help()
+    assert "campaign" in text
+
+
+def test_campaign_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["campaign"])
+
+
+def test_specs_registered():
+    assert "paper-battery" in spec_names()
+    assert "quick" in spec_names()
+    assert len(build_spec("paper-battery")) > 100
+    assert build_spec("paper-battery", limit=8) == build_spec("paper-battery")[:8]
+    with pytest.raises(KeyError, match="unknown campaign spec"):
+        build_spec("nope")
+
+
+def test_campaign_run_quick_then_cached(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["campaign", "run", "--spec", "quick", "--limit", "4",
+            "--jobs", "1", "--cache-dir", cache_dir, "--no-progress"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "live runs            : 4" in cold
+    assert "matches expectations : True" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache hits           : 4" in warm
+    assert "live runs            : 0" in warm
+
+    ledger = tmp_path / "cache" / "ledgers" / "quick.jsonl"
+    assert ledger.exists()
+    from repro.campaign import read_ledger
+
+    results, summaries = read_ledger(ledger)
+    assert len(results) == 8 and len(summaries) == 2  # both runs appended
+
+
+def test_campaign_status_and_clean(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["campaign", "run", "--spec", "quick", "--limit", "2",
+                 "--jobs", "1", "--cache-dir", cache_dir, "--no-progress"]) == 0
+    capsys.readouterr()
+
+    assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "cached results : 2" in out
+    assert "quick.jsonl" in out
+
+    assert main(["campaign", "clean", "--cache-dir", cache_dir, "--ledgers"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 2 cached results" in out
+    assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
+    assert "cached results : 0" in capsys.readouterr().out
+
+
+def test_campaign_run_no_cache_flag(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["campaign", "run", "--spec", "quick", "--limit", "2", "--jobs", "1",
+            "--cache-dir", cache_dir, "--no-cache", "--no-progress"]
+    assert main(argv) == 0
+    assert main(argv) == 0  # second run is live again: nothing was cached
+    assert "live runs            : 2" in capsys.readouterr().out
+    assert not (tmp_path / "cache").glob("*/*.json") or \
+        not list((tmp_path / "cache").glob("*/*.json"))
+
+
+def test_gen_routes_through_campaign(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["gen", "--max-m", "1", "--jobs", "2",
+                 "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "strictly increasing: True" in out
+    assert len(list((tmp_path / "cache").glob("*/*.json"))) == 1  # memoised
+
+
+def test_theorem3_routes_through_campaign(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["theorem3", "--limit", "6", "--jobs", "2", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "theorem3_holds          : True" in out
+    assert len(list((tmp_path / "cache").glob("*/*.json"))) == 6
+
+    assert main(argv) == 0  # warm: same verdicts from cache
+    assert "theorem3_holds          : True" in capsys.readouterr().out
+
+
+def test_fig3_sweep_flags_parse():
+    args = build_parser().parse_args(
+        ["fig3", "--sweep", "5", "--jobs", "3", "--cache-dir", "/tmp/x"]
+    )
+    assert args.sweep == 5 and args.jobs == 3 and args.cache_dir == "/tmp/x"
+
+
+def test_adapter_fig3_sweep_agreement(tmp_path):
+    """The campaign-backed sweep reproduces run_condition_sweep's verdicts."""
+    from repro.campaign.adapters import fig3_sweep_via_campaign
+    from repro.experiments.fig3 import run_condition_sweep
+
+    direct = run_condition_sweep(samples=4)
+    via = fig3_sweep_via_campaign(4, jobs=1, cache_dir=str(tmp_path / "c"))
+    assert via.total == direct.total == 4
+    assert via.agree == direct.agree
+    assert via.disagreements == direct.disagreements

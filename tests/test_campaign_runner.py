@@ -1,0 +1,169 @@
+"""Runner: parallel/serial equivalence, timeout, retry, fallback, ledger."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.ledger import RunLedger, read_ledger
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.runner import RunnerConfig, run_campaign
+from repro.campaign.tasks import CampaignTask
+
+
+def _small_battery() -> list[CampaignTask]:
+    tasks = [
+        CampaignTask.make(
+            "reachability", "fig2-pair", d1=d1, d2=d2, hold=2, expect="deadlock"
+        )
+        for d1, d2 in ((1, 1), (2, 1), (1, 2))
+    ]
+    tasks.append(CampaignTask.make("reachability", "fig1", expect="unreachable"))
+    tasks.append(CampaignTask.make("cdg", "baseline-cdg", algorithm="dor",
+                                   dims=(3, 3), expect="acyclic"))
+    return tasks
+
+
+def test_serial_and_parallel_ledger_verdicts_agree(tmp_path):
+    """max_workers=1 and =4 must write identical verdicts for each hash."""
+    verdicts = {}
+    for workers in (1, 4):
+        path = tmp_path / f"ledger-{workers}.jsonl"
+        with RunLedger(path) as ledger:
+            results, summary = run_campaign(
+                _small_battery(),
+                ledger=ledger,
+                config=RunnerConfig(max_workers=workers),
+            )
+        assert summary.failed == 0 and summary.all_expected
+        recorded, summaries = read_ledger(path)
+        assert len(recorded) == len(results) == 5
+        assert len(summaries) == 1
+        verdicts[workers] = {r.task_hash: r.verdict for r in recorded}
+    assert verdicts[1] == verdicts[4]
+
+
+def test_parallel_runs_use_worker_processes(tmp_path):
+    results, _ = run_campaign(
+        _small_battery()[:3], config=RunnerConfig(max_workers=2)
+    )
+    assert all(r.worker.startswith("pid") for r in results)
+
+
+def test_timeout_then_retry_exhaustion(tmp_path):
+    """A deliberately slow task trips the per-task timeout on every wave."""
+    slow = CampaignTask.make("reachability", "debug-sleep", seconds=1.2)
+    results, summary = run_campaign(
+        [slow],
+        config=RunnerConfig(
+            max_workers=2, task_timeout=0.2, retries=1, backoff=0.05
+        ),
+    )
+    (res,) = results
+    assert not res.ok
+    assert "timeout" in res.error
+    assert res.attempts == 2  # initial attempt + one retry
+    assert summary.failed == 1 and not summary.all_expected
+
+
+def test_flaky_task_succeeds_on_retry(tmp_path):
+    token_dir = tmp_path / "tokens"
+    token_dir.mkdir()
+    flaky = CampaignTask.make(
+        "reachability", "debug-flaky", token_dir=str(token_dir), fail_times=1
+    )
+    results, summary = run_campaign(
+        [flaky], config=RunnerConfig(max_workers=1, retries=2, backoff=0.01)
+    )
+    (res,) = results
+    assert res.ok and res.verdict == "unreachable"
+    assert res.attempts == 2
+    assert summary.failed == 0
+
+
+def test_retries_zero_fails_fast(tmp_path):
+    token_dir = tmp_path / "tokens"
+    token_dir.mkdir()
+    flaky = CampaignTask.make(
+        "reachability", "debug-flaky", token_dir=str(token_dir), fail_times=1
+    )
+    results, _ = run_campaign(
+        [flaky], config=RunnerConfig(max_workers=1, retries=0)
+    )
+    assert not results[0].ok and results[0].attempts == 1
+
+
+def test_pool_unavailable_degrades_to_serial(monkeypatch):
+    """Environments without process pools still complete the campaign."""
+
+    def broken_pool(*a, **kw):
+        raise OSError("no process support here")
+
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", broken_pool
+    )
+    results, summary = run_campaign(
+        _small_battery()[:3], config=RunnerConfig(max_workers=4)
+    )
+    assert summary.failed == 0
+    assert all(r.ok and r.worker == "serial" for r in results)
+    assert {r.verdict for r in results} == {"deadlock"}
+
+
+def test_duplicate_tasks_run_once():
+    task = CampaignTask.make("reachability", "fig2-pair", d1=1, d2=1, hold=2)
+    results, summary = run_campaign([task, task, task])
+    assert len(results) == 1 and summary.total == 1
+
+
+def test_cache_short_circuits_second_run(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    tasks = _small_battery()
+    _, cold = run_campaign(tasks, cache=cache, config=RunnerConfig(max_workers=1))
+    assert cold.live == len(tasks) and cold.from_cache == 0
+
+    cache2 = ResultCache(tmp_path / "cache")
+    results, warm = run_campaign(
+        tasks, cache=cache2, config=RunnerConfig(max_workers=1)
+    )
+    assert warm.from_cache == len(tasks) and warm.live == 0
+    assert warm.all_expected
+    assert all(r.source == "cache" for r in results)
+    assert cache2.stats.hit_rate == 1.0
+
+
+def test_invalid_runner_config():
+    with pytest.raises(ValueError):
+        RunnerConfig(max_workers=0)
+    with pytest.raises(ValueError):
+        RunnerConfig(retries=-1)
+    with pytest.raises(ValueError):
+        RunnerConfig(task_timeout=0)
+
+
+def test_progress_reporter_emits(capsys):
+    import sys
+
+    reporter = ProgressReporter(2, stream=sys.stdout, interval=0.0)
+    from repro.campaign.tasks import TaskResult
+
+    for source in ("cache", "live"):
+        reporter.update(
+            TaskResult(task_hash="x", name="t", kind="k", scenario="s",
+                       params={}, verdict="ok", source=source)
+        )
+    out = capsys.readouterr().out
+    assert "2/2 done" in out and "cache 1" in out
+
+
+def test_ledger_skips_corrupt_lines(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    with RunLedger(path) as ledger:
+        run_campaign(
+            [CampaignTask.make("reachability", "fig2-pair", d1=1, d2=1, hold=2)],
+            ledger=ledger,
+        )
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("{truncated garbage\n")
+    results, summaries = read_ledger(path)
+    assert len(results) == 1 and len(summaries) == 1

@@ -1,0 +1,111 @@
+"""Task model: content hashing, normalisation, serialisation, execution."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign.tasks import SCHEMA_VERSION, CampaignTask, TaskResult, execute_task
+
+
+def test_hash_independent_of_param_ordering():
+    a = CampaignTask(kind="reachability", scenario="fig2-pair",
+                     params=(("d1", 3), ("d2", 1), ("hold", 3)))
+    b = CampaignTask(kind="reachability", scenario="fig2-pair",
+                     params=(("hold", 3), ("d2", 1), ("d1", 3)))
+    assert a == b
+    assert a.task_hash == b.task_hash
+    assert hash(a) == hash(b)
+
+
+def test_hash_stable_across_process_restarts():
+    """The content hash is a pure function of the canonical JSON.
+
+    Pinned to a literal so any drift (field renames, canonicalisation
+    changes) fails loudly -- the on-disk cache depends on this stability.
+    A fresh interpreter recomputes the same digest (no per-process hash
+    randomisation leaks in).
+    """
+    task = CampaignTask.make("reachability", "fig1", budget=0)
+    assert (
+        task.canonical_json()
+        == '{"kind":"reachability","params":{"budget":0},"scenario":"fig1"}'
+    )
+    assert task.task_hash == (
+        "993e8082e87200f349145561dd9e40189762f320da4d4bb3fb54142a24c7c2c1"
+    )
+    code = (
+        "from repro.campaign.tasks import CampaignTask;"
+        "print(CampaignTask.make('reachability', 'fig1', budget=0).task_hash)"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    assert out.stdout.strip() == task.task_hash
+
+
+def test_params_normalised_to_hashable_tuples():
+    task = CampaignTask.make("classify", "shared-cycle",
+                             approaches=[2, 3, 1], holds=(4, 4, 4))
+    assert task.params_dict()["approaches"] == (2, 3, 1)
+    hash(task)  # tuples throughout -> hashable
+    json.loads(task.canonical_json())  # and canonically JSON-able
+
+
+def test_expect_excluded_from_identity():
+    plain = CampaignTask.make("reachability", "fig1")
+    expecting = CampaignTask.make("reachability", "fig1", expect="unreachable")
+    assert plain == expecting
+    assert plain.task_hash == expecting.task_hash
+
+
+def test_rejects_unknown_kind_and_duplicate_keys():
+    with pytest.raises(ValueError, match="unknown analysis kind"):
+        CampaignTask(kind="frobnicate", scenario="fig1")
+    with pytest.raises(ValueError, match="duplicate parameter"):
+        CampaignTask(kind="reachability", scenario="fig1",
+                     params=(("m", 1), ("m", 2)))
+
+
+def test_json_round_trip():
+    task = CampaignTask.make(
+        "min_delay", "gen", m=2, max_delay=5, expect="delta=2"
+    )
+    clone = CampaignTask.from_json(task.to_json())
+    assert clone == task
+    assert clone.task_hash == task.task_hash
+    assert clone.expect == "delta=2"
+
+
+def test_execute_reachability_fig2_deadlocks():
+    task = CampaignTask.make(
+        "reachability", "fig2-pair", d1=3, d2=1, hold=3, expect="deadlock"
+    )
+    res = execute_task(task)
+    assert res.ok and res.verdict == "deadlock"
+    assert res.detail["states_explored"] > 0
+    assert res.expect_matches is True
+    assert res.task_hash == task.task_hash
+
+
+def test_execute_captures_task_errors():
+    res = execute_task(CampaignTask.make("classify", "fig3-panel", panel="z"))
+    assert not res.ok
+    assert res.verdict == "error"
+    assert "KeyError" in res.error
+
+
+def test_execute_unknown_scenario_is_captured():
+    res = execute_task(CampaignTask.make("reachability", "no-such-scenario"))
+    assert not res.ok and "unknown scenario" in res.error
+
+
+def test_result_round_trip_and_schema_version():
+    res = execute_task(CampaignTask.make("cdg", "baseline-cdg",
+                                         algorithm="dor", dims=(3, 3)))
+    assert res.verdict == "acyclic" and res.detail["numbering_valid"]
+    clone = TaskResult.from_json(json.loads(json.dumps(res.to_json())))
+    assert clone.verdict == res.verdict
+    assert clone.detail["acyclic"] is True
+    assert isinstance(SCHEMA_VERSION, int)

@@ -13,6 +13,37 @@ def make_ring_sim(specs, n=6, **kw):
     return Simulator(net, clockwise_ring(net, n), specs, **kw)
 
 
+class TestSimConfigValidation:
+    """Bad knob values must fail at construction, not deep in the run loop."""
+
+    def test_rejects_nonpositive_buffer_depth(self):
+        with pytest.raises(ValueError, match="buffer_depth"):
+            SimConfig(buffer_depth=0)
+        with pytest.raises(ValueError, match="buffer_depth"):
+            SimConfig(buffer_depth=-3)
+
+    def test_rejects_nonpositive_max_cycles(self):
+        with pytest.raises(ValueError, match="max_cycles"):
+            SimConfig(max_cycles=0)
+        with pytest.raises(ValueError, match="max_cycles"):
+            SimConfig(max_cycles=-1)
+
+    def test_rejects_unknown_switching(self):
+        with pytest.raises(ValueError, match="unknown switching"):
+            SimConfig(switching="circuit")
+        with pytest.raises(ValueError, match="unknown switching"):
+            SimConfig(switching="Wormhole")  # exact strings only
+
+    def test_valid_switching_accepted(self):
+        for s in ("wormhole", "store_and_forward", "virtual_cut_through"):
+            assert SimConfig(buffer_depth=8, switching=s).switching == s
+
+    def test_classmethod_constructors_validate_too(self):
+        with pytest.raises(ValueError, match="buffer_depth"):
+            SimConfig.store_and_forward(0)
+        assert SimConfig.virtual_cut_through(4).buffer_depth == 4
+
+
 class TestSingleMessage:
     def test_latency_formula(self):
         # path k channels, length L, unobstructed: done at t0 + k + L - 1
