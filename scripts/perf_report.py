@@ -1,0 +1,157 @@
+"""A/B the fast search core against the reference oracle -> BENCH_search.json.
+
+For every requested scenario this script launches
+``benchmarks/bench_search_core.py`` twice -- once with
+``REPRO_SEARCH_ENGINE=reference``, once with ``fast`` -- in fresh
+interpreter processes (cold engine tables, no memo carry-over), takes the
+best of ``--repeats`` runs per engine, and writes a machine-readable
+report.  See ``docs/PERF.md`` for the report format and methodology.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_report.py                  # full set
+    PYTHONPATH=src python scripts/perf_report.py --quick          # CI smoke
+    PYTHONPATH=src python scripts/perf_report.py \
+        --scenarios fig1-sync --min-speedup 1.0                   # gate
+
+``--min-speedup X`` turns the report into a regression gate: exit 1 if any
+measured scenario's wall-clock speedup (reference / fast) falls below X.
+The CI benchmark-smoke job runs the Fig. 1 search with ``--min-speedup
+1.0`` -- the optimized engine must never be slower than the oracle it
+replaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_search_core.py"
+
+#: scenarios in the default (committed) report, cheapest first
+DEFAULT_SCENARIOS = (
+    "fig1-sync",
+    "thm1-five",
+    "fig1-copies",
+    "fig1-b1",
+    "fig1-delay",
+    "gen2-delay",
+    "battery-search",
+)
+
+QUICK_SCENARIOS = ("fig1-sync", "thm1-five")
+
+
+def run_one(scenario: str, engine: str) -> dict[str, Any]:
+    """One fresh-process measurement of ``scenario`` under ``engine``."""
+    env = dict(os.environ)
+    env["REPRO_SEARCH_ENGINE"] = engine
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--scenario", scenario],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{scenario}/{engine} failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def best_of(scenario: str, engine: str, repeats: int) -> dict[str, Any]:
+    """Best (lowest wall time) of ``repeats`` fresh-process runs."""
+    runs = [run_one(scenario, engine) for _ in range(repeats)]
+    return min(runs, key=lambda r: r["wall_s"])
+
+
+def bench_scenario(scenario: str, repeats: int) -> dict[str, Any]:
+    ref = best_of(scenario, "reference", repeats)
+    fast = best_of(scenario, "fast", repeats)
+    entry: dict[str, Any] = {"reference": ref, "fast": fast}
+    if fast["wall_s"] > 0:
+        entry["speedup_wall"] = round(ref["wall_s"] / fast["wall_s"], 2)
+    if fast["cpu_s"] > 0:
+        entry["speedup_cpu"] = round(ref["cpu_s"] / fast["cpu_s"], 2)
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: the full committed set)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"only {', '.join(QUICK_SCENARIOS)} (the CI smoke set)",
+    )
+    parser.add_argument("--repeats", type=int, default=1, help="best-of-N per engine")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_search.json"),
+        help="report path (default: BENCH_search.json at the repo root)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit 1 if any scenario's wall speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scenarios:
+        names = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    elif args.quick:
+        names = list(QUICK_SCENARIOS)
+    else:
+        names = list(DEFAULT_SCENARIOS)
+
+    report: dict[str, Any] = {
+        "schema": "bench-search/v1",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "scenarios": {},
+    }
+    failed_gate: list[str] = []
+    for name in names:
+        print(f"[bench] {name} ...", flush=True)
+        entry = bench_scenario(name, args.repeats)
+        report["scenarios"][name] = entry
+        speedup = entry.get("speedup_wall")
+        ref_w, fast_w = entry["reference"]["wall_s"], entry["fast"]["wall_s"]
+        print(
+            f"[bench] {name}: reference {ref_w:.3f}s  fast {fast_w:.3f}s  "
+            f"speedup {speedup if speedup is not None else 'n/a'}x",
+            flush=True,
+        )
+        if (
+            args.min_speedup is not None
+            and speedup is not None
+            and speedup < args.min_speedup
+        ):
+            failed_gate.append(f"{name}: {speedup}x < {args.min_speedup}x")
+
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {out}")
+    if failed_gate:
+        for line in failed_gate:
+            print(f"[bench] SPEEDUP GATE FAILED -- {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

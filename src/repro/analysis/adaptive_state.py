@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from repro.analysis import state as _state_mod
 from repro.analysis.reachability import SearchLimitExceeded
 from repro.routing.adaptive import AdaptiveRoutingFunction
 from repro.routing.base import INJECT, RoutingError
@@ -81,6 +82,10 @@ class AdaptiveSystem:
         self.budget = budget
         self.max_path_len = max_path_len or 2 * self.network.num_channels
         self._chan = {c.cid: c for c in self.network.channels}
+        # routing candidates are a pure function of (taken, i); the search
+        # asks for them once in deadlocked_set and again when expanding, so
+        # memoizing halves the routing-function traffic on the hot path
+        self._cand_memo: dict[tuple[tuple[int, ...], int], list[int]] = {}
 
     def initial_state(self) -> AdaptiveSystemState:
         return tuple(((), 0, 0, self.budget) for _ in self.messages)
@@ -88,12 +93,15 @@ class AdaptiveSystem:
     # ------------------------------------------------------------------
     def occupied(self, state: AdaptiveSystemState) -> dict[int, int]:
         occ: dict[int, int] = {}
+        # read through the module so monkeypatched/env-enabled flags apply
+        debug = _state_mod.DEBUG_INVARIANTS
         for i, (taken, inj, cons, _bud) in enumerate(state):
             f = inj - cons
             if f <= 0:
                 continue
             for cid in taken[len(taken) - f :]:
-                assert cid not in occ, "channel double-booked"
+                if debug and cid in occ:
+                    raise AssertionError("channel double-booked")
                 occ[cid] = i
         return occ
 
@@ -103,13 +111,19 @@ class AdaptiveSystem:
         return self._chan[taken[-1]].dst
 
     def _candidates(self, taken: tuple[int, ...], i: int) -> list[int]:
+        key = (taken, i)
+        hit = self._cand_memo.get(key)
+        if hit is not None:
+            return hit
         msg = self.messages[i]
         in_ch = INJECT if not taken else self._chan[taken[-1]]
         try:
             cands = self.fn.candidates(in_ch, self._node(taken, i), msg.dst)
+            out = [c.cid for c in cands if c.cid not in taken]
         except RoutingError:
-            return []
-        return [c.cid for c in cands if c.cid not in taken]
+            out = []
+        self._cand_memo[key] = out
+        return out
 
     def deadlocked_set(self, state: AdaptiveSystemState) -> tuple[int, ...]:
         """OR-semantics knot among in-flight, non-arrived messages."""

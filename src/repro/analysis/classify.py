@@ -50,6 +50,7 @@ def classify_configuration(
     max_copies_total: int = 2,
     length_slack: int = 0,
     max_states: int = 20_000_000,
+    search_jobs: int = 1,
 ) -> tuple[bool, SearchResult]:
     """Full-adversary reachability verdict for a fixed message-type set.
 
@@ -87,7 +88,9 @@ def classify_configuration(
                 for j, i in enumerate(subset)
             ]
             spec = SystemSpec.uniform(msgs, budget=budget)
-            last = search_deadlock(spec, max_states=max_states, find_witness=False)
+            last = search_deadlock(
+                spec, max_states=max_states, find_witness=False, jobs=search_jobs
+            )
             if last.deadlock_reachable:
                 return True, last
     assert last is not None
@@ -265,6 +268,7 @@ def classify_cycle(
     budget: int = 0,
     max_states: int = 2_000_000,
     max_scenarios: int = 256,
+    search_jobs: int = 1,
 ) -> CycleClassification:
     """Decide whether ``cycle`` can produce a reachable deadlock.
 
@@ -322,7 +326,14 @@ def classify_cycle(
                         tag = m.tag if c == 0 else f"{m.tag}(copy{c})"
                         msgs.append(CheckerMessage(path=m.path, length=ln, tag=tag))
                 spec = SystemSpec.uniform(msgs, budget=budget)
-                result = search_deadlock(spec, max_states=max_states)
+                # verdict first (symmetry-reduced, optionally parallel);
+                # witness search only for the rare deadlocking scenario
+                probe = search_deadlock(
+                    spec, max_states=max_states, find_witness=False, jobs=search_jobs
+                )
+                result = probe
+                if probe.deadlock_reachable:
+                    result = search_deadlock(spec, max_states=max_states)
                 if result.deadlock_reachable:
                     return CycleClassification(
                         cycle=cycle,

@@ -37,19 +37,35 @@ def min_delay_to_deadlock(
     *,
     max_delay: int = 16,
     max_states: int = 4_000_000,
+    search_jobs: int = 1,
 ) -> DelayResult:
     """Smallest uniform per-message stall budget Δ at which deadlock is reachable.
 
     Deadlock reachability is monotone in the budget (a larger budget only
     adds adversary options), so the sweep stops at the first reachable Δ.
+
+    The sweep runs in two phases: every budget is first decided with a
+    verdict-only search (symmetry reduction on, parent pointers off,
+    optionally frontier-parallel via ``search_jobs``), and only the single
+    deadlocking budget is re-searched in witness mode so
+    ``results[min_delay].witness`` replays exactly as before.  The negative
+    budgets dominate the sweep cost, so skipping their parent maps and
+    deduplicating identical-message permutations is the big win here;
+    their entries report the (smaller) symmetry-reduced state counts.
     """
     results: dict[int, SearchResult] = {}
     for delta in range(max_delay + 1):
         spec = SystemSpec.uniform(messages, budget=delta)
-        res = search_deadlock(spec, max_states=max_states)
-        results[delta] = res
+        res = search_deadlock(
+            spec, max_states=max_states, find_witness=False, jobs=search_jobs
+        )
         if res.deadlock_reachable:
+            # witness pass: identical to the pre-two-phase search at this
+            # budget (witness mode, no symmetry reduction), so downstream
+            # replay consumers see an unchanged trace
+            results[delta] = search_deadlock(spec, max_states=max_states)
             return DelayResult(min_delay=delta, max_delay_tested=delta, results=results)
+        results[delta] = res
     return DelayResult(min_delay=None, max_delay_tested=max_delay, results=results)
 
 
@@ -59,6 +75,7 @@ def delay_tolerance_profile(
     *,
     max_delay: int = 24,
     max_states: int = 6_000_000,
+    search_jobs: int = 1,
 ) -> dict[int, int | None]:
     """Map each parameter ``m`` to the measured minimum deadlock delay Δ*(m).
 
@@ -68,6 +85,11 @@ def delay_tolerance_profile(
     profile: dict[int, int | None] = {}
     for m in params:
         messages = scenario_factory(m)
-        res = min_delay_to_deadlock(messages, max_delay=max_delay, max_states=max_states)
+        res = min_delay_to_deadlock(
+            messages,
+            max_delay=max_delay,
+            max_states=max_states,
+            search_jobs=search_jobs,
+        )
         profile[m] = res.min_delay
     return profile

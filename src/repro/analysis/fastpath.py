@@ -1,0 +1,1081 @@
+"""Optimized successor engine: bitmask occupancy + precomputed move tables.
+
+This is the hot path of every verdict in the reproduction.  The reference
+implementation (:meth:`repro.analysis.state.SystemSpec.successors`) rebuilds
+a ``{channel id -> owner}`` dict for every grant round of every branch of
+every expanded state, re-deriving each move's flit-train arithmetic as it
+goes, and the search then rebuilds occupancy *again* per discovered state to
+test for deadlock.  :class:`FastEngine` removes all of that work up front:
+
+* every channel id touched by the spec maps to a **dense bit position**
+  once, so occupancy is a single int bitmask (channels are referred to by
+  their single-bit masks ``1 << position`` throughout);
+* every *per-message* state ``(h, inj, cons, bud)`` reachable under the
+  message's own dynamics is enumerated at engine construction and assigned
+  a small index; for each index the engine precomputes the channel bits the
+  flit train occupies, the move options available, and -- per option -- the
+  successor index plus the single bit acquired and the single bit released.
+  The inner round loop therefore performs **no arithmetic at all**: a move
+  is one table lookup, one mask update, and one integer store;
+* occupancy is threaded **incrementally** through the round expansion --
+  each action sets at most one bit and clears at most one -- and a round
+  that frees no bit wanted by a still-blocked message short-circuits
+  straight to emission (no fixpoint re-scan);
+* the wait-for map for **deadlock detection at emit time** is read off the
+  threaded occupancy, skipping the functional-graph cycle walk entirely
+  when no header is blocked (the overwhelmingly common case), and the
+  verdict is memoized per state;
+* searches that do not need action labels (``find_witness=False`` -- every
+  campaign task) run entirely in the index domain via :meth:`search` /
+  :meth:`expand`: states are flat tuples of small ints (cheaper to hash,
+  compare and canonicalize than nested 4-tuples), and per-message state
+  indices are assigned in sorted order of the underlying tuples, so
+  symmetry canonicalization in the index domain picks exactly the
+  representatives the reference search would.
+
+Exact-equivalence contract: for every state,
+``[(s, a) for s, a, _ in engine.successors_full(state)]`` equals
+``spec.successors(state)`` **deduplicated by next state** (first occurrence
+kept), and the third component equals ``spec.deadlocked_set(s)``.  The
+deduplicated view is exactly what every search consumes -- the visited
+check drops repeated states and the witness parent map keeps only the
+first-encountered action labels -- so search verdicts, ``states_explored``
+counts, witnesses and BFS expansion order are all bit-identical to the
+reference.  The index-domain expansion follows the same grant-round
+orchestration (scan, deterministic pre-apply, joint-choice product,
+arbitration) and therefore yields the same states in the same order.
+``tests/test_fastpath_differential.py`` pins both views over the whole
+paper battery plus hypothesis-generated specs.
+
+Cross-checking invariants (the ``assert cid not in occ`` family) live
+behind :data:`repro.analysis.state.DEBUG_INVARIANTS` -- set
+``REPRO_DEBUG_INVARIANTS=1`` to re-enable them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product
+
+from repro.analysis import state as _state_mod
+from repro.analysis.state import SystemSpec, SystemState
+
+#: successor lists memoized per engine; shallow search prefixes are the most
+#: frequently revisited across repeated searches, so a modest cap captures
+#: most of the benefit without letting multi-million-state searches hoard RAM
+DEFAULT_MEMO_LIMIT = 8192
+
+#: deadlock verdicts are one tuple per state -- far smaller than successor
+#: lists -- so they can afford a much larger cap
+DEFAULT_DEAD_MEMO_LIMIT = 1 << 20
+
+#: engines cached per spec so repeated searches share the tables and memos
+_ENGINE_CACHE_LIMIT = 64
+_ENGINES: dict[SystemSpec, "FastEngine"] = {}
+
+# interned action labels; options are compared by identity against these
+_TRY, _WAIT, _ADV, _STALL, _DRAIN = "try", "wait", "adv", "stall", "drain"
+
+# per-message record kinds (see _message_record)
+_DONE, _INJECT, _ADVANCE, _ADVANCE_STALL, _ARRIVE, _ARRIVE_STALL, _DRAINING = (
+    range(7)
+)
+
+_OVERLAP = "two messages occupy one channel: invariant broken"
+
+
+def engine_for(spec: SystemSpec) -> "FastEngine":
+    """The (cached) fast engine for ``spec``."""
+    eng = _ENGINES.get(spec)
+    if eng is None:
+        if len(_ENGINES) >= _ENGINE_CACHE_LIMIT:
+            _ENGINES.clear()
+        eng = FastEngine(spec)
+        _ENGINES[spec] = eng
+    return eng
+
+
+class FastEngine:
+    """Successor generation over a dense-bit, table-driven encoding of ``spec``."""
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        *,
+        memo_limit: int = DEFAULT_MEMO_LIMIT,
+        dead_memo_limit: int = DEFAULT_DEAD_MEMO_LIMIT,
+    ) -> None:
+        self.spec = spec
+        bit_of: dict[int, int] = {}
+        for m in spec.messages:
+            for cid in m.path:
+                if cid not in bit_of:
+                    bit_of[cid] = len(bit_of)
+        self.bit_of = bit_of
+        self.num_bits = len(bit_of)
+        # paths re-encoded as single-bit masks (index aligned with the cid path)
+        self._paths = tuple(
+            tuple(1 << bit_of[cid] for cid in m.path) for m in spec.messages
+        )
+        self._ks = tuple(len(m.path) for m in spec.messages)
+        self._lens = tuple(m.length for m in spec.messages)
+        self._n = len(spec.messages)
+
+        # ------------------------------------------------------------------
+        # per-message state tables.  Indices are assigned in sorted order of
+        # the (h, inj, cons, bud) tuples, making index comparison
+        # order-isomorphic to tuple comparison -- required for index-domain
+        # symmetry canonicalization to pick the reference representatives.
+        # ------------------------------------------------------------------
+        self._idx: list[dict[tuple, int]] = []
+        self._back: list[list[tuple]] = []
+        self._recs: list[list[tuple]] = []
+        #: the record minus its kind code: ``(req, opts)``.  ``req`` is the
+        #: one channel bit the state can block on (0 when it never blocks --
+        #: records for arriving/draining/done states already store 0), so
+        #: ``mask & req`` alone decides blocked-ness and empty ``opts``
+        #: alone decides done-ness.  ``_emissions`` scans these rows; the
+        #: kind dispatch disappears from the hot loop entirely.
+        self._scan: list[list[tuple]] = []
+        self._occm: list[list[int]] = []
+        #: the channel bit this per-message state blocks on (0 = never blocks);
+        #: lets the deadlock test skip record unpacking entirely
+        self._blk: list[list[int]] = []
+        for i in range(self._n):
+            closed = self._closure(i)
+            self._idx.append({ms: ci for ci, ms in enumerate(closed)})
+            self._back.append(list(closed))
+            self._occm.append([self._occ_bits(i, ms) for ms in closed])
+            # records need every next-state index, so they come last
+            self._recs.append([])
+        for i in range(self._n):
+            self._recs[i] = [
+                self._message_record(i, ms) for ms in self._back[i]
+            ]
+            self._scan.append([rec[1:] for rec in self._recs[i]])
+            self._blk.append(
+                [
+                    rec[1] if rec[0] in (_ADVANCE, _ADVANCE_STALL) else 0
+                    for rec in self._recs[i]
+                ]
+            )
+        self.init_idx = tuple(
+            self._idx[i][(0, 0, 0, spec.budgets[i])] for i in range(self._n)
+        )
+        self.canon = self._build_canon()
+
+        self._memo_limit = memo_limit
+        self._memo: dict[SystemState, list] = {}
+        self._smemo: dict[tuple, list] = {}
+        self._dead_memo_limit = dead_memo_limit
+        self._dead_memo: dict[tuple, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # table construction
+    # ------------------------------------------------------------------
+    def _move(self, i: int, ms: tuple, act: str) -> tuple[tuple, int, int]:
+        """Apply one action to a per-message state: (next, acquired, released).
+
+        This is the only place the reference flit-train arithmetic lives;
+        everything downstream reads its results out of tables.
+        """
+        h, inj, cons, bud = ms
+        k, L, path = self._ks[i], self._lens[i], self._paths[i]
+        if act is _TRY:
+            return (1, 1, cons, bud), path[0], 0
+        if act is _STALL:
+            return (h, inj, cons, bud - 1), 0, 0
+        f = inj - cons
+        if act is _ADV:
+            h += 1
+            if h == k + 1:
+                cons += 1  # header consumed on arrival
+                if inj < L and (inj - cons) < k:
+                    inj += 1
+                rel = path[k - f] if inj - cons < f else 0  # train shrank
+                return (h, inj, cons, bud), 0, rel
+            acq = path[h - 1]  # the channel just acquired
+            if inj < L and (inj - cons) < h:
+                inj += 1
+            rel = path[h - 1 - f] if inj - cons == f else 0  # tail vacated
+            return (h, inj, cons, bud), acq, rel
+        # drain: forced consumption
+        cons += 1
+        if inj < L and (inj - cons) < k:
+            inj += 1
+        rel = path[k - f] if inj - cons < f else 0  # train shrank
+        return (h, inj, cons, bud), 0, rel
+
+    def _moves_of(self, i: int, ms: tuple) -> list[str]:
+        """The actions that can change this per-message state (for closure)."""
+        h, _inj, cons, bud = ms
+        k, L = self._ks[i], self._lens[i]
+        if cons == L:
+            return []
+        acts: list[str] = []
+        if h == 0:
+            acts.append(_TRY)
+        elif h <= k:
+            acts.append(_ADV)
+            if bud > 0:
+                acts.append(_STALL)
+        else:
+            acts.append(_DRAIN)
+        return acts
+
+    def _closure(self, i: int) -> list[tuple]:
+        """Every per-message state reachable from injection start, sorted."""
+        start = (0, 0, 0, self.spec.budgets[i])
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            ms = frontier.popleft()
+            for act in self._moves_of(i, ms):
+                nxt, _acq, _rel = self._move(i, ms, act)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return sorted(seen)
+
+    def _occ_bits(self, i: int, ms: tuple) -> int:
+        """Bitmask of the channels message ``i``'s flit train occupies."""
+        h, inj, cons, _bud = ms
+        f = inj - cons
+        if h == 0 or f <= 0:
+            return 0
+        k, path = self._ks[i], self._paths[i]
+        front = h - 1 if h <= k else k - 1
+        bits = 0
+        for idx in range(front - f + 1, front + 1):
+            bits |= path[idx]
+        return bits
+
+    def _message_record(self, i: int, ms: tuple) -> tuple:
+        """``(kind, req, opts)`` scan record for one per-message state.
+
+        ``req`` is the single channel bit the message needs to move (0 when
+        it never blocks); ``opts`` are ``(label, chan, next_index, acquired,
+        released)`` tuples, ``chan`` being the requested channel for
+        arbitration purposes (``None`` for uncontendable moves).
+        """
+        h, inj, cons, bud = ms
+        k, L = self._ks[i], self._lens[i]
+        idx = self._idx[i]
+        if cons == L:
+            return (_DONE, 0, ())
+        if h == 0:
+            nxt, acq, rel = self._move(i, ms, _TRY)
+            b = self._paths[i][0]
+            return (
+                _INJECT,
+                b,
+                ((_TRY, b, idx[nxt], acq, rel), (_WAIT, None, idx[ms], 0, 0)),
+            )
+        if h <= k - 1:
+            nxt, acq, rel = self._move(i, ms, _ADV)
+            b = self._paths[i][h]
+            adv = (_ADV, b, idx[nxt], acq, rel)
+            if bud > 0:
+                st, _a, _r = self._move(i, ms, _STALL)
+                return (_ADVANCE_STALL, b, (adv, (_STALL, None, idx[st], 0, 0)))
+            return (_ADVANCE, b, (adv,))
+        if h == k:
+            # arrival into the node: no arbitration, but the router may
+            # stall it (it is an in-network move)
+            nxt, acq, rel = self._move(i, ms, _ADV)
+            adv = (_ADV, None, idx[nxt], acq, rel)
+            if bud > 0:
+                st, _a, _r = self._move(i, ms, _STALL)
+                return (_ARRIVE_STALL, 0, (adv, (_STALL, None, idx[st], 0, 0)))
+            return (_ARRIVE, 0, (adv,))
+        # h == k + 1: draining, forced consumption
+        nxt, acq, rel = self._move(i, ms, _DRAIN)
+        return (_DRAINING, 0, ((_DRAIN, None, idx[nxt], acq, rel),))
+
+    def _build_canon(self):
+        """Index-domain symmetry canonicalizer (``None`` when no symmetry).
+
+        Mirrors :func:`repro.analysis.reachability._symmetry_canonicalizer`:
+        because per-message indices are assigned in sorted tuple order and
+        identical message types share identical tables, sorting indices
+        within a class picks exactly the representative the reference
+        canonicalizer would pick for the corresponding raw states.
+        """
+        spec = self.spec
+        groups: dict[tuple, list[int]] = {}
+        for i, (m, b) in enumerate(zip(spec.messages, spec.budgets)):
+            groups.setdefault((m.path, m.length, b), []).append(i)
+        classes = [idxs for idxs in groups.values() if len(idxs) > 1]
+        #: pair classes exposed for the fused search: emitted states are
+        #: overwhelmingly already canonical, so the emission loop inlines
+        #: the is-canonical probe and only calls ``canon`` on a hit
+        self._canon_pairs: list[tuple[int, int]] | None = None
+        if not classes:
+            return None
+        if all(len(idxs) == 2 for idxs in classes):
+            pairs = [(idxs[0], idxs[1]) for idxs in classes]
+            self._canon_pairs = pairs
+
+            def canon(st: tuple) -> tuple:
+                for i, j in pairs:
+                    if st[j] < st[i]:
+                        out = list(st)
+                        for a, b in pairs:
+                            if out[b] < out[a]:
+                                out[a], out[b] = out[b], out[a]
+                        return tuple(out)
+                return st
+
+            return canon
+
+        def canon(st: tuple) -> tuple:
+            out = list(st)
+            for idxs in classes:
+                vals = sorted([out[i] for i in idxs])
+                for i, v in zip(idxs, vals):
+                    out[i] = v
+            return tuple(out)
+
+        return canon
+
+    # ------------------------------------------------------------------
+    # encoding helpers
+    # ------------------------------------------------------------------
+    def _ci(self, i: int, ms: tuple) -> int:
+        """Index of per-message state ``ms``, extending the tables on demand.
+
+        Extension keeps ``successors_full``/``deadlocked`` total over states
+        outside the message's own reachable closure (tests build some), but
+        appended indices break the sorted-order isomorphism -- which only
+        the index-domain :meth:`search` relies on, and that always starts
+        from the initial state, whose closure is fully enumerated up front.
+        """
+        idx = self._idx[i]
+        ci = idx.get(ms)
+        if ci is None:
+            h, inj, cons, _bud = ms
+            if not (0 <= h <= self._ks[i] + 1 and 0 <= cons <= inj <= self._lens[i]):
+                raise ValueError(f"per-message state {ms!r} is malformed for message {i}")
+            ci = len(self._back[i])
+            idx[ms] = ci
+            self._back[i].append(ms)
+            self._occm[i].append(self._occ_bits(i, ms))
+            rec = self._message_record(i, ms)
+            self._recs[i].append(rec)
+            self._scan[i].append(rec[1:])
+            self._blk[i].append(
+                rec[1] if rec[0] in (_ADVANCE, _ADVANCE_STALL) else 0
+            )
+        return ci
+
+    def encode(self, state: SystemState) -> tuple:
+        """Raw state -> index-domain state."""
+        return tuple(self._ci(i, ms) for i, ms in enumerate(state))
+
+    def decode(self, st: tuple) -> SystemState:
+        """Index-domain state -> raw state."""
+        back = self._back
+        return tuple(back[i][ci] for i, ci in enumerate(st))
+
+    def occupancy(self, state: SystemState) -> tuple[int, dict[int, int]]:
+        """(bitmask, {bit -> owner}) for ``state``."""
+        mask = 0
+        owners: dict[int, int] = {}
+        debug = _state_mod.DEBUG_INVARIANTS
+        occm = self._occm
+        for i, ms in enumerate(state):
+            bits = occm[i][self._ci(i, ms)]
+            if debug and mask & bits:
+                raise AssertionError(_OVERLAP)
+            mask |= bits
+            while bits:
+                b = bits & -bits
+                owners[b] = i
+                bits ^= b
+        return mask, owners
+
+    # ------------------------------------------------------------------
+    # deadlock detection
+    # ------------------------------------------------------------------
+    def deadlocked(self, state: SystemState) -> tuple[int, ...]:
+        """Memoized :meth:`SystemSpec.deadlocked_set` over the fast encoding."""
+        st = self.encode(state)
+        dead = self._dead_memo.get(st)
+        if dead is None:
+            mask = 0
+            occm = self._occm
+            for i, ci in enumerate(st):
+                mask |= occm[i][ci]
+            dead = self._deadlocked(st, mask)
+            if len(self._dead_memo) < self._dead_memo_limit:
+                self._dead_memo[st] = dead
+        return dead
+
+    def _deadlocked(self, st: tuple, mask: int) -> tuple[int, ...]:
+        """Wait-for cycle members of index-state ``st`` (mirrors
+        ``deadlocked_set``).
+
+        The wait map is read straight off the threaded occupancy; when it is
+        empty -- no header blocked, the overwhelmingly common case -- the
+        cycle walk is skipped outright.
+        """
+        blk = self._blk
+        occm = self._occm
+        wait: dict[int, int] = {}
+        for i, ci in enumerate(st):
+            req = blk[i][ci]
+            if req and mask & req:
+                for j, cj in enumerate(st):
+                    if occm[j][cj] & req:
+                        if j != i:
+                            wait[i] = j
+                        break
+        if not wait:
+            return ()
+        color: dict[int, int] = {}
+        for start in wait:
+            if color.get(start):
+                continue
+            trail: list[int] = []
+            node = start
+            while node in wait and color.get(node) is None:
+                color[node] = 1
+                trail.append(node)
+                node = wait[node]
+            if color.get(node) == 1:
+                idx = trail.index(node)
+                for n in trail:
+                    color[n] = 2
+                return tuple(sorted(trail[idx:]))
+            for n in trail:
+                color[n] = 2
+        return ()
+
+    # ------------------------------------------------------------------
+    # index-domain expansion (label-free: what verdict-only searches use)
+    # ------------------------------------------------------------------
+    def expand(self, root: tuple) -> list[tuple[tuple, tuple[int, ...]]]:
+        """``(next_state, deadlocked)`` pairs for one cycle, index domain.
+
+        Same states, same order, same deadlock verdicts as
+        :meth:`successors_full` -- minus the action labels, which no
+        verdict-only search reads.  This is the list view parallel workers
+        and differential tests consume; :meth:`search` streams the same
+        emissions without materializing lists.
+        """
+        cached = self._smemo.get(root)
+        if cached is not None:
+            return cached
+        results: list[tuple[tuple, tuple[int, ...]]] = []
+        seen: set[tuple] = set()
+        for st, dead in self._emissions(root):
+            if st not in seen:
+                seen.add(st)
+                results.append((st, dead))
+        if len(self._smemo) < self._memo_limit:
+            self._smemo[root] = results
+        return results
+
+    def _emissions(
+        self,
+        root: tuple,
+        visited: set | None = None,
+        canon=None,
+        mask: int | None = None,
+    ):
+        """Yield successors of ``root`` for one cycle, index domain.
+
+        Plain mode (``visited is None``): yields ``(next_state,
+        deadlocked)`` pairs.  The stream may contain rare duplicate states
+        (a state reachable via different in-round choices); every consumer
+        deduplicates -- the search's visited check, :meth:`expand`'s
+        first-occurrence filter -- so the deduplicated view is what the
+        equivalence contract pins.
+
+        Fused mode (``visited`` given): the search's dedup moves *inside*
+        the expansion -- a state whose key (under ``canon``, identity when
+        ``None``) is already in ``visited`` is dropped before it crosses
+        the generator boundary, and its deadlock verdict is never looked
+        up; new keys are added to ``visited`` in place and yielded as
+        ``(next_state, deadlocked, occupancy_mask)`` triples so the caller
+        can thread the mask back in (the ``mask`` parameter) and skip the
+        root-occupancy rebuild.  First-occurrence order is identical to
+        plain mode, which is what keeps fused searches bit-identical to
+        the reference.
+
+        Iterative (explicit stack, children pushed in reverse) so the deep
+        forced spines of a cycle cost no Python call overhead; emission
+        order equals the reference's depth-first combo order.
+        """
+        n = self._n
+        scan = self._scan
+        occm = self._occm
+        debug = _state_mod.DEBUG_INVARIANTS
+        dead_memo = self._dead_memo
+        dead_memo_limit = self._dead_memo_limit
+        deadlocked = self._deadlocked
+        _product, _wait, _stall = product, _WAIT, _STALL
+        visited_add = visited.add if visited is not None else None
+        # pair-class canon: probe inline (states are overwhelmingly already
+        # canonical) and only pay the call when a swap is actually needed
+        pairs = self._canon_pairs if canon is not None else None
+        # branch-convergence pruning: (configuration, pending) fully
+        # determines the *states* a subtree can emit, so a node reached
+        # twice (different arbitration winners, lose-vs-wait pairs ending
+        # equal) is expanded only once -- the skipped copy could only
+        # re-emit states consumers deduplicate away
+        seen_nodes: set[tuple] = set()
+
+        if mask is None or debug:
+            mask0 = 0
+            for i, ci in enumerate(root):
+                if debug and mask0 & occm[i][ci]:
+                    raise AssertionError(_OVERLAP)
+                mask0 |= occm[i][ci]
+            if debug and mask is not None and mask != mask0:
+                raise AssertionError(_OVERLAP)
+            mask = mask0
+        # stack entries: (configuration, pending bitmask, occupancy mask);
+        # pending == -1 tags an already-at-fixpoint node to emit directly
+        stack: list[tuple[list, int, int]] = [(list(root), (1 << n) - 1, mask)]
+        while stack:
+            cur, pending, mask = stack.pop()
+            branch = False
+            if pending >= 0:
+                while True:
+                    if not pending:
+                        break
+                    movers: list[int] = []
+                    mopts: list[tuple] = []
+                    multi = False  # any mover with a genuine choice?
+                    reqmask = 0
+                    clash = False
+                    want = 0  # bits still-blocked messages are waiting on
+                    for i in range(n):
+                        if not pending >> i & 1:
+                            continue
+                        req, opts = scan[i][cur[i]]
+                        if mask & req:
+                            want |= req  # blocked; may free in a later round
+                        elif opts:
+                            movers.append(i)
+                            mopts.append(opts)
+                            if len(opts) > 1:
+                                multi = True
+                            elif req:  # single-option in-network advance
+                                if reqmask & req:
+                                    clash = True
+                                reqmask |= req
+                        else:
+                            pending &= ~(1 << i)  # done
+                    if not movers:
+                        break
+                    if not multi and not clash:
+                        # fully deterministic round -- the overwhelmingly
+                        # common case once messages are in flight: apply
+                        # every mover in place (adv/drain).  If no freed
+                        # bit is wanted by a still-blocked message, the
+                        # next scan cannot find a mover: emit without
+                        # re-scanning.
+                        freed = 0
+                        for i, o in zip(movers, mopts):
+                            first = o[0]
+                            acq = first[3]
+                            if debug and mask & acq:
+                                raise AssertionError(_OVERLAP)
+                            cur[i] = first[2]
+                            mask = (mask | acq) & ~first[4]
+                            freed |= first[4]
+                            pending &= ~(1 << i)
+                        if not pending or not freed & want:
+                            break
+                        continue
+                    # channel demand across every mover's first option
+                    # (single-bit masks, so two int accumulators count): a
+                    # single-option mover whose channel nobody else
+                    # requests this round is still deterministic
+                    seen1 = 0  # requested at least once
+                    seen2 = 0  # requested at least twice
+                    for o in mopts:
+                        c = o[0][1]
+                        if c is not None:
+                            if seen1 & c:
+                                seen2 |= c
+                            seen1 |= c
+                    bmovers: list[int] = []
+                    bopts: list[tuple] = []
+                    pre_moved = False
+                    freed = 0
+                    for i, o in zip(movers, mopts):
+                        first = o[0]
+                        c = first[1]
+                        if len(o) > 1 or (c is not None and seen2 & c):
+                            bmovers.append(i)
+                            bopts.append(o)
+                            continue
+                        # deterministic: apply in place (adv/drain)
+                        acq = first[3]
+                        if debug and mask & acq:
+                            raise AssertionError(_OVERLAP)
+                        cur[i] = first[2]
+                        mask = (mask | acq) & ~first[4]
+                        freed |= first[4]
+                        pending &= ~(1 << i)
+                        pre_moved = True
+                    if not bmovers:  # unreachable in practice: multi/clash
+                        if not pending or not freed & want:  # pragma: no cover
+                            break
+                        continue
+                    branch = True
+                    break
+            if not branch:
+                st = tuple(cur)
+                if visited is not None:
+                    if canon is None:
+                        key = st
+                    elif pairs is not None:
+                        key = st
+                        for a, b in pairs:
+                            if st[b] < st[a]:
+                                key = canon(st)
+                                break
+                    else:
+                        key = canon(st)
+                    if key in visited:
+                        continue
+                    visited_add(key)
+                    dead = dead_memo.get(st)
+                    if dead is None:
+                        dead = deadlocked(st, mask)
+                        if len(dead_memo) < dead_memo_limit:
+                            dead_memo[st] = dead
+                    yield st, dead, mask
+                    continue
+                dead = dead_memo.get(st)
+                if dead is None:
+                    dead = deadlocked(st, mask)
+                    if len(dead_memo) < dead_memo_limit:
+                        dead_memo[st] = dead
+                yield st, dead
+                continue
+
+            # branching round: enumerate joint choices of the branching
+            # movers (and, per combo, arbitration winners); the
+            # deterministic movers are already folded into cur/mask above.
+            # Children are pushed in reverse so LIFO popping reproduces the
+            # reference's depth-first emission order exactly.
+            children: list[tuple[list, int, int]] = []
+            # if no two branching movers can ever request the same channel,
+            # no combo can be contested -- skip arbitration bookkeeping
+            # (channels are single-bit masks, so an int accumulator detects
+            # duplicates without allocating)
+            chseen = 0
+            no_contest = True
+            for o in bopts:
+                c = o[0][1]
+                if c is not None:
+                    if chseen & c:
+                        no_contest = False
+                        break
+                    chseen |= c
+            for combo in _product(*bopts):
+                wsets: tuple | None = None  # None: this combo is uncontested
+                if not no_contest:
+                    # most combos of a contestable round are still
+                    # uncontested (somebody chose wait/stall); one pass of
+                    # int ors over the single-bit channel masks finds the
+                    # channels requested twice, and the requester-list
+                    # bookkeeping runs only when there genuinely are some
+                    seenm = 0
+                    dupm = 0
+                    for o in combo:
+                        c = o[1]
+                        if c is not None:
+                            if seenm & c:
+                                dupm |= c
+                            seenm |= c
+                    if dupm:
+                        requests: dict[int, list[int]] = {}
+                        for i, o in zip(bmovers, combo):
+                            c = o[1]
+                            if c is not None and c & dupm:
+                                lst = requests.get(c)
+                                if lst is None:
+                                    requests[c] = [i]
+                                else:
+                                    lst.append(i)
+                        if len(requests) == 1:
+                            ((c0, cands),) = requests.items()
+                            wsets = tuple([{c0: w} for w in cands])
+                        else:
+                            wsets = tuple(
+                                [
+                                    dict(zip(requests, wc))
+                                    for wc in _product(*requests.values())
+                                ]
+                            )
+                if wsets is None:
+                    # uncontested: exactly one child for this combo
+                    nxt = list(cur)
+                    nmask = mask
+                    npend = pending
+                    moved = pre_moved
+                    for i, o in zip(bmovers, combo):
+                        lab, chan, nci, acq, rel = o
+                        if lab is _wait:
+                            continue  # stays pending (may try a later round)
+                        nxt[i] = nci
+                        npend &= ~(1 << i)
+                        if lab is not _stall:
+                            moved = True
+                        if acq or rel:
+                            if debug and nmask & acq:
+                                raise AssertionError(_OVERLAP)
+                            nmask = (nmask | acq) & ~rel
+                    if moved:
+                        node = (tuple(nxt), npend)
+                        if node not in seen_nodes:
+                            seen_nodes.add(node)
+                            children.append((nxt, npend, nmask))
+                    else:
+                        # nothing moved: fixpoint; tag for direct emission
+                        children.append((nxt, -1, nmask))
+                    continue
+                for winners in wsets:
+                    nxt = list(cur)
+                    nmask = mask
+                    npend = pending
+                    moved = pre_moved
+                    for i, o in zip(bmovers, combo):
+                        lab, chan, nci, acq, rel = o
+                        if chan is not None:
+                            w = winners.get(chan)
+                            if w is not None and w != i:
+                                npend &= ~(1 << i)  # lost arbitration
+                                continue
+                        if lab is _wait:
+                            continue  # stays pending (may try a later round)
+                        nxt[i] = nci
+                        npend &= ~(1 << i)
+                        if lab is not _stall:
+                            moved = True
+                        if acq or rel:
+                            if debug and nmask & acq:
+                                raise AssertionError(_OVERLAP)
+                            nmask = (nmask | acq) & ~rel
+                    if moved:
+                        node = (tuple(nxt), npend)
+                        if node not in seen_nodes:
+                            seen_nodes.add(node)
+                            children.append((nxt, npend, nmask))
+                    else:
+                        # nothing moved: fixpoint; tag for direct emission
+                        children.append((nxt, -1, nmask))
+            stack.extend(reversed(children))
+
+    # ------------------------------------------------------------------
+    # index-domain BFS (verdict + states_explored only)
+    # ------------------------------------------------------------------
+    def search(
+        self, *, max_states: int = 2_000_000, symmetry_reduction: bool = True
+    ) -> tuple[bool, int]:
+        """BFS deadlock reachability in the index domain.
+
+        Returns ``(deadlock_reachable, states_explored)`` -- bit-identical
+        to the reference :func:`repro.analysis.reachability.search_deadlock`
+        with ``find_witness=False`` and the same ``symmetry_reduction``,
+        including the early-exit count when a deadlock is found (expansion
+        order matches the reference's).
+        """
+        from repro.analysis.reachability import SearchLimitExceeded
+
+        canon = self.canon if symmetry_reduction else None
+        init = self.init_idx
+        visited: set[tuple] = {canon(init) if canon else init}
+        # fused expansion: _emissions filters against (and grows) visited
+        # itself, so duplicate states never cross the generator boundary,
+        # and each child's occupancy mask rides along in the queue so the
+        # next expansion skips the root-occupancy rebuild.  First-occurrence
+        # order is the reference's, so the early-exit count matches too.
+        init_mask = 0
+        for i, ci in enumerate(init):
+            init_mask |= self._occm[i][ci]
+        queue: deque[tuple[tuple, int]] = deque([(init, init_mask)])
+        emissions = self._emissions
+        popleft = queue.popleft
+        push = queue.append
+        count = 1
+        while queue:
+            state, mask = popleft()
+            for nxt, dead, nmask in emissions(state, visited, canon, mask):
+                count += 1
+                if count > max_states:
+                    raise SearchLimitExceeded(
+                        f"exceeded {max_states} states; tighten the "
+                        "scenario or raise the cap"
+                    )
+                if dead:
+                    return True, count
+                push((nxt, nmask))
+        return False, count
+
+    def search_witness(
+        self, *, max_states: int = 2_000_000, symmetry_reduction: bool = False
+    ) -> tuple[
+        bool,
+        int,
+        list[tuple[str, ...]] | None,
+        list[SystemState] | None,
+        tuple[int, ...],
+    ]:
+        """BFS with parent tracking; returns a replayable deadlock path.
+
+        ``(found, states_explored, steps, states, deadlocked)`` where
+        ``steps``/``states`` are the per-cycle action rows and raw states
+        of a minimum-length deadlock formation (``None`` when no deadlock
+        is reachable).  The search itself runs entirely in the index
+        domain -- parents are bare state pointers, no labels -- and action
+        rows are recovered afterwards by re-expanding only the states
+        *on the returned path* through :meth:`successors_full`.  Because
+        the fused expansion yields first occurrences in the reference's
+        order, the parent of every state is the reference's parent, and
+        ``successors_full``'s first-occurrence labels are the actions the
+        reference's parent map would have stored: the witness is
+        step-for-step the reference's.
+        """
+        from repro.analysis.reachability import SearchLimitExceeded
+
+        canon = self.canon if symmetry_reduction else None
+        init = self.init_idx
+        visited: set[tuple] = {canon(init) if canon else init}
+        parent: dict[tuple, tuple] = {}
+        init_mask = 0
+        for i, ci in enumerate(init):
+            init_mask |= self._occm[i][ci]
+        queue: deque[tuple[tuple, int]] = deque([(init, init_mask)])
+        emissions = self._emissions
+        popleft = queue.popleft
+        push = queue.append
+        count = 1
+        while queue:
+            state, mask = popleft()
+            for nxt, dead, nmask in emissions(state, visited, canon, mask):
+                count += 1
+                if count > max_states:
+                    raise SearchLimitExceeded(
+                        f"exceeded {max_states} states; tighten the "
+                        "scenario or raise the cap"
+                    )
+                parent[nxt] = state
+                if dead:
+                    chain = [nxt]
+                    cur = nxt
+                    while cur != init:
+                        cur = parent[cur]
+                        chain.append(cur)
+                    chain.reverse()
+                    decode = self.decode
+                    states = [decode(s) for s in chain[1:]]
+                    steps: list[tuple[str, ...]] = []
+                    for prev, raw in zip(chain, states):
+                        praw = decode(prev)
+                        for s, acts, _d in self.successors_full(praw):
+                            if s == raw:
+                                steps.append(acts)
+                                break
+                        else:  # pragma: no cover - parent chain is consistent
+                            raise AssertionError("witness edge lost")
+                    return True, count, steps, states, dead
+                push((nxt, nmask))
+        return False, count, None, None, ()
+
+    # ------------------------------------------------------------------
+    # labeled successor generation (what witness searches and the
+    # differential contract consume)
+    # ------------------------------------------------------------------
+    def successors_full(
+        self, state: SystemState
+    ) -> list[tuple[SystemState, tuple[str, ...], tuple[int, ...]]]:
+        """``(next_state, actions, deadlocked)`` triples for one cycle.
+
+        The list is :meth:`SystemSpec.successors` **deduplicated by next
+        state**, keeping the first occurrence (same states, same order,
+        same first action labels).  That is exactly the view every search
+        consumes: repeated ``(state, actions)`` pairs differing only in
+        labels are dropped by the visited check, and the witness parent map
+        keeps only the first-encountered actions.  ``deadlocked`` equals
+        ``spec.deadlocked_set(next_state)``.
+        """
+        memo = self._memo
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+
+        n = self._n
+        recs = self._recs
+        occm = self._occm
+        back = self._back
+        debug = _state_mod.DEBUG_INVARIANTS
+        dead_memo = self._dead_memo
+        dead_memo_limit = self._dead_memo_limit
+        deadlocked = self._deadlocked
+        results: list[tuple[SystemState, tuple[str, ...], tuple[int, ...]]] = []
+        seen: set[tuple] = set()
+        seen_nodes: set[tuple] = set()
+
+        def emit(cur: list, last: list, mask: int) -> None:
+            st = tuple(cur)
+            if st not in seen:
+                seen.add(st)
+                dead = dead_memo.get(st)
+                if dead is None:
+                    dead = deadlocked(st, mask)
+                    if len(dead_memo) < dead_memo_limit:
+                        dead_memo[st] = dead
+                raw = tuple(back[i][ci] for i, ci in enumerate(st))
+                results.append((raw, tuple(last), dead))
+
+        def rounds(cur: list, pending: int, last: list, mask: int) -> None:
+            """Expand grant rounds from ``cur`` until the cycle fixpoint.
+
+            Same orchestration as :meth:`expand`, plus the action-label
+            bookkeeping (``done``/``freeze`` rewrites, per-branch labels).
+            """
+            while True:
+                if not pending:
+                    emit(cur, last, mask)
+                    return
+                movers: list[int] = []
+                mopts: list[tuple] = []
+                multi = False
+                reqmask = 0
+                clash = False
+                want = 0
+                for i in range(n):
+                    if not pending >> i & 1:
+                        continue
+                    kind, req, opts = recs[i][cur[i]]
+                    if kind == _DONE:
+                        last[i] = "done"
+                        pending &= ~(1 << i)
+                    elif kind <= _ADVANCE_STALL and mask & req:
+                        want |= req
+                        if kind != _INJECT:  # blocked injection stays silent
+                            last[i] = "freeze"
+                    else:
+                        movers.append(i)
+                        mopts.append(opts)
+                        if len(opts) > 1:
+                            multi = True
+                        elif kind == _ADVANCE:
+                            if reqmask & req:
+                                clash = True
+                            reqmask |= req
+                if not movers:
+                    emit(cur, last, mask)
+                    return
+                counts: dict[int, int] | None = None
+                if multi or clash:
+                    counts = {}
+                    for o in mopts:
+                        c = o[0][1]
+                        if c is not None:
+                            counts[c] = counts.get(c, 0) + 1
+                bmovers: list[int] = []
+                bopts: list[tuple] = []
+                pre_moved = False
+                freed = 0
+                for j, i in enumerate(movers):
+                    o = mopts[j]
+                    first = o[0]
+                    c = first[1]
+                    if len(o) > 1 or (
+                        counts is not None and c is not None and counts[c] > 1
+                    ):
+                        bmovers.append(i)
+                        bopts.append(o)
+                        continue
+                    acq = first[3]
+                    if debug and mask & acq:
+                        raise AssertionError(_OVERLAP)
+                    cur[i] = first[2]
+                    last[i] = first[0]
+                    mask = (mask | acq) & ~first[4]
+                    freed |= first[4]
+                    pending &= ~(1 << i)
+                    pre_moved = True
+                if not bmovers:
+                    if not pending or not freed & want:
+                        emit(cur, last, mask)
+                        return
+                    continue
+                break
+
+            def finish(combo, winners) -> None:
+                nxt = list(cur)
+                nxt_last = list(last)
+                npend = pending
+                nmask = mask
+                moved = pre_moved
+                for i, o in zip(bmovers, combo):
+                    lab, chan, nci, acq, rel = o
+                    if winners is not None and chan is not None:
+                        w = winners.get(chan)
+                        if w is not None and w != i:
+                            npend &= ~(1 << i)
+                            nxt_last[i] = "lose"
+                            continue
+                    nxt_last[i] = lab
+                    if lab is _WAIT:
+                        continue
+                    nxt[i] = nci
+                    npend &= ~(1 << i)
+                    if lab is not _STALL:
+                        moved = True
+                    if acq or rel:
+                        if debug and nmask & acq:
+                            raise AssertionError(_OVERLAP)
+                        nmask = (nmask | acq) & ~rel
+                if moved:
+                    node = (tuple(nxt), npend)
+                    if node not in seen_nodes:
+                        seen_nodes.add(node)
+                        rounds(nxt, npend, nxt_last, nmask)
+                else:
+                    emit(nxt, nxt_last, nmask)
+
+            bchans = [o[0][1] for o in bopts if o[0][1] is not None]
+            if len(set(bchans)) == len(bchans):
+                for combo in product(*bopts):
+                    finish(combo, None)
+                return
+            for combo in product(*bopts):
+                requests: dict[int, list[int]] = {}
+                for i, o in zip(bmovers, combo):
+                    c = o[1]
+                    if c is not None:
+                        lst = requests.get(c)
+                        if lst is None:
+                            requests[c] = [i]
+                        else:
+                            lst.append(i)
+                contested = [c for c, cands in requests.items() if len(cands) > 1]
+                if not contested:
+                    finish(combo, None)
+                else:
+                    for wcombo in product(*[requests[c] for c in contested]):
+                        finish(combo, dict(zip(contested, wcombo)))
+
+        st0 = self.encode(state)
+        mask0 = 0
+        for i, ci in enumerate(st0):
+            if debug and mask0 & occm[i][ci]:
+                raise AssertionError(_OVERLAP)
+            mask0 |= occm[i][ci]
+        # "done"/"freeze" labels are (re)derived by the first round's scan,
+        # so the initial labels are simply all-"wait"
+        rounds(list(st0), (1 << n) - 1, ["wait"] * n, mask0)
+
+        if len(memo) < self._memo_limit:
+            memo[state] = results
+        return results

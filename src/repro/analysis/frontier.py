@@ -1,0 +1,135 @@
+"""Frontier-parallel BFS: expand whole BFS levels across worker processes.
+
+The explicit-state search is embarrassingly parallel *within* a BFS level:
+every state's successor set is a pure function of the state, so a level can
+be partitioned into chunks, expanded concurrently, and merged.  The merge
+consumes chunk results **in submission order**, which makes the traversal
+-- discovery order, ``states_explored``, early-exit counts, cap behaviour
+-- bit-identical to the serial search: a serial BFS processes its FIFO
+queue level by level, and within a level this merge visits exactly the
+same states in exactly the same order.
+
+Execution machinery follows the campaign runner
+(:mod:`repro.campaign.runner`): a ``ProcessPoolExecutor`` is created
+lazily (only once a level is large enough to be worth shipping out), pool
+creation failure or mid-search breakage degrades to in-process expansion
+of the remaining chunks, and the pool is always torn down on exit --
+including the early-exit paths.  Workers rebuild the
+:class:`~repro.analysis.fastpath.FastEngine` for the spec once per process
+via :func:`~repro.analysis.fastpath.engine_for` and exchange index-domain
+states (flat tuples of small ints), so payloads stay tiny.
+
+Witness searches stay serial: reconstructing a path needs the parent map
+of the whole traversal, which would have to cross the process boundary for
+every discovered state and erase the win.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fastpath import engine_for
+from repro.analysis.state import SystemSpec
+
+#: states per worker task; large enough to amortize pickling + dispatch,
+#: small enough to pipeline merge work behind expansion work
+DEFAULT_CHUNK = 256
+
+#: levels smaller than this expand in-process -- dispatch latency would
+#: dominate (early BFS levels hold a handful of states)
+MIN_PARALLEL_FRONTIER = 1024
+
+
+def _expand_chunk(spec: SystemSpec, chunk: list[tuple]) -> list[list]:
+    """Worker entry: expand a slice of one BFS level (pure, picklable)."""
+    eng = engine_for(spec)
+    expand = eng.expand
+    return [expand(st) for st in chunk]
+
+
+def frontier_search(
+    spec: SystemSpec,
+    *,
+    jobs: int,
+    max_states: int = 2_000_000,
+    symmetry_reduction: bool = True,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> tuple[bool, int]:
+    """Parallel deadlock-reachability BFS over ``spec``.
+
+    Returns ``(deadlock_reachable, states_explored)``, bit-identical to
+    ``FastEngine.search`` (and therefore to the reference search) for the
+    same parameters.  ``jobs`` is the worker-process count; ``jobs <= 1``
+    simply runs the serial engine search.
+    """
+    from repro.analysis.reachability import SearchLimitExceeded
+
+    eng = engine_for(spec)
+    if jobs <= 1:
+        return eng.search(max_states=max_states, symmetry_reduction=symmetry_reduction)
+
+    canon = eng.canon if symmetry_reduction else None
+    expand = eng.expand
+    init = eng.init_idx
+    visited: set[tuple] = {canon(init) if canon else init}
+    count = 1
+    frontier: list[tuple] = [init]
+    pool = None
+    pool_ok = True  # flips off permanently on creation failure or breakage
+
+    try:
+        while frontier:
+            use_pool = pool_ok and len(frontier) >= MIN_PARALLEL_FRONTIER
+            if use_pool and pool is None:
+                try:
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                except Exception:  # noqa: BLE001 - no fork/semaphores here
+                    pool_ok = False
+                    use_pool = False
+            if use_pool:
+                chunks = [
+                    frontier[lo : lo + chunk_size]
+                    for lo in range(0, len(frontier), chunk_size)
+                ]
+                futures = [pool.submit(_expand_chunk, spec, c) for c in chunks]
+
+                def level_results():
+                    nonlocal pool_ok
+                    for fi, fut in enumerate(futures):
+                        if pool_ok:
+                            try:
+                                yield from fut.result()
+                                continue
+                            except Exception:  # noqa: BLE001 - broken pool
+                                pool_ok = False
+                        # degraded: expansion is pure, so redoing the chunk
+                        # in-process yields the identical successor lists
+                        for st in chunks[fi]:
+                            yield expand(st)
+
+                per_state_lists = level_results()
+            else:
+                per_state_lists = (expand(st) for st in frontier)
+
+            next_frontier: list[tuple] = []
+            push = next_frontier.append
+            for successors in per_state_lists:
+                for nxt, dead in successors:
+                    key = canon(nxt) if canon else nxt
+                    if key in visited:
+                        continue
+                    visited.add(key)
+                    count += 1
+                    if count > max_states:
+                        raise SearchLimitExceeded(
+                            f"exceeded {max_states} states; tighten the "
+                            "scenario or raise the cap"
+                        )
+                    if dead:
+                        return True, count
+                    push(nxt)
+            frontier = next_frontier
+        return False, count
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -9,10 +9,16 @@ bounded); a configurable state cap turns pathological blow-ups into loud
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.analysis.state import SystemSpec, SystemState
+
+# imported eagerly (not inside _search_fast) so the engine module's load
+# cost lands at import time, outside any timed search; fastpath itself
+# imports this module's SearchLimitExceeded lazily, so there is no cycle
+from repro.analysis.fastpath import engine_for as _engine_for
 
 
 class SearchLimitExceeded(RuntimeError):
@@ -59,7 +65,7 @@ class SearchResult:
     deadlock_reachable: bool
     witness: Witness | None
     states_explored: int
-    spec: SystemSpec = field(repr=False, default=None)  # type: ignore[assignment]
+    spec: SystemSpec | None = field(repr=False, default=None)
 
     @property
     def is_false_resource_cycle(self) -> bool:
@@ -84,10 +90,28 @@ def _symmetry_canonicalizer(spec: SystemSpec):
     if not classes:
         return None
 
+    if all(len(idxs) == 2 for idxs in classes):
+        # identical messages overwhelmingly come in pairs (the "add a copy"
+        # searches); canonicalizing is then a compare-and-swap per pair,
+        # with no allocation when the state is already canonical
+        pairs = [(idxs[0], idxs[1]) for idxs in classes]
+
+        def canon(state: SystemState) -> SystemState:
+            for i, j in pairs:
+                if state[j] < state[i]:
+                    out = list(state)
+                    for a, b in pairs:
+                        if out[b] < out[a]:
+                            out[a], out[b] = out[b], out[a]
+                    return tuple(out)
+            return state
+
+        return canon
+
     def canon(state: SystemState) -> SystemState:
         out = list(state)
         for idxs in classes:
-            vals = sorted(out[i] for i in idxs)
+            vals = sorted([out[i] for i in idxs])
             for i, v in zip(idxs, vals):
                 out[i] = v
         return tuple(out)
@@ -101,6 +125,8 @@ def search_deadlock(
     max_states: int = 2_000_000,
     find_witness: bool = True,
     symmetry_reduction: bool | None = None,
+    engine: str | None = None,
+    jobs: int = 1,
 ) -> SearchResult:
     """Decide whether any reachable state of ``spec`` is a deadlock.
 
@@ -120,6 +146,19 @@ def search_deadlock(
         reachability verdict, but witness action rows may name a different
         member of an identical pair than a non-reduced search would, so it
         defaults to on only when ``find_witness`` is false.
+    engine:
+        ``"fast"`` (default) expands states through the table-driven
+        :class:`~repro.analysis.fastpath.FastEngine`; ``"reference"``
+        keeps the original :meth:`SystemSpec.successors` implementation as
+        a cross-checking oracle.  Both produce identical verdicts,
+        ``states_explored`` counts and witnesses (pinned by
+        ``tests/test_fastpath_differential.py``).  The
+        ``REPRO_SEARCH_ENGINE`` environment variable overrides the
+        default for whole processes (benchmarks, CI A/B runs).
+    jobs:
+        Worker processes for frontier-parallel expansion (verdict-only
+        searches).  ``1`` means serial; witness and reference searches
+        ignore it (a witness needs the whole parent map in one process).
 
     Notes
     -----
@@ -128,16 +167,29 @@ def search_deadlock(
     """
     if symmetry_reduction is None:
         symmetry_reduction = not find_witness
-    canon = _symmetry_canonicalizer(spec) if symmetry_reduction else None
+    if engine is None:
+        engine = os.environ.get("REPRO_SEARCH_ENGINE", "fast")
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown search engine {engine!r}; use 'fast' or 'reference'")
 
     init = spec.initial_state()
-    visited: set[SystemState] = {canon(init) if canon else init}
-    parent: dict[SystemState, tuple[SystemState, tuple[str, ...]]] = {}
-    queue: deque[SystemState] = deque([init])
-
     dead = spec.deadlocked_set(init)
     if dead:  # pragma: no cover - empty network can't deadlock
         raise AssertionError("initial state deadlocked; spec is malformed")
+
+    if engine == "fast":
+        return _search_fast(
+            spec,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+            jobs=jobs,
+        )
+
+    canon = _symmetry_canonicalizer(spec) if symmetry_reduction else None
+    visited: set[SystemState] = {canon(init) if canon else init}
+    parent: dict[SystemState, tuple[SystemState, tuple[str, ...]]] = {}
+    queue: deque[SystemState] = deque([init])
 
     while queue:
         state = queue.popleft()
@@ -169,6 +221,57 @@ def search_deadlock(
         deadlock_reachable=False,
         witness=None,
         states_explored=len(visited),
+        spec=spec,
+    )
+
+
+def _search_fast(
+    spec: SystemSpec,
+    *,
+    max_states: int,
+    find_witness: bool,
+    symmetry_reduction: bool,
+    jobs: int,
+) -> SearchResult:
+    """The optimized search paths."""
+    engine_for = _engine_for
+
+    if not find_witness:
+        if jobs > 1:
+            from repro.analysis.frontier import frontier_search
+
+            reachable, explored = frontier_search(
+                spec,
+                jobs=jobs,
+                max_states=max_states,
+                symmetry_reduction=symmetry_reduction,
+            )
+        else:
+            reachable, explored = engine_for(spec).search(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
+            )
+        return SearchResult(
+            deadlock_reachable=reachable,
+            witness=None,
+            states_explored=explored,
+            spec=spec,
+        )
+
+    # witness search: index-domain BFS with bare parent pointers; the
+    # action rows are recovered for the states on the deadlock path only
+    # (see FastEngine.search_witness), so witness searches run at nearly
+    # verdict-search speed while returning the reference's exact witness
+    found, count, steps, states, dead = engine_for(spec).search_witness(
+        max_states=max_states, symmetry_reduction=symmetry_reduction
+    )
+    witness = None
+    if found:
+        assert steps is not None and states is not None
+        witness = Witness(spec=spec, steps=steps, states=states, deadlocked=dead)
+    return SearchResult(
+        deadlock_reachable=found,
+        witness=witness,
+        states_explored=count,
         spec=spec,
     )
 

@@ -34,10 +34,17 @@ winner.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.topology.channels import Channel
+
+#: Cross-checking invariants (e.g. "no two messages occupy one channel")
+#: sit on the hottest loops of the search; they are disabled by default and
+#: re-enabled by setting ``REPRO_DEBUG_INVARIANTS=1`` (or monkeypatching
+#: this flag) when chasing a suspected state-model bug.
+DEBUG_INVARIANTS = os.environ.get("REPRO_DEBUG_INVARIANTS", "") not in ("", "0")
 
 # Per-message state: (h, inj, cons, bud)
 MsgState = tuple[int, int, int, int]
@@ -113,6 +120,7 @@ class SystemSpec:
         occ: dict[int, int] = {}
         paths = self._paths  # type: ignore[attr-defined]
         ks = self._ks  # type: ignore[attr-defined]
+        debug = DEBUG_INVARIANTS
         for i, (h, inj, cons, _bud) in enumerate(state):
             if h == 0:
                 continue
@@ -124,7 +132,10 @@ class SystemSpec:
             path = paths[i]
             for idx in range(front - f + 1, front + 1):
                 cid = path[idx]
-                assert cid not in occ, "two messages occupy one channel: invariant broken"
+                if debug and cid in occ:
+                    raise AssertionError(
+                        "two messages occupy one channel: invariant broken"
+                    )
                 occ[cid] = i
         return occ
 

@@ -19,23 +19,36 @@ recorded in an append-only ledger:
 :mod:`progress`   -- periodic done/total/rate/ETA reporting.
 :mod:`specs`      -- built-in campaign specs (``paper-battery``, ``quick``).
 :mod:`adapters`   -- experiment-shaped front-ends used by the CLI sweeps.
+:mod:`trend`      -- per-task wall-time regression detection across ledgers.
 
 See ``docs/CAMPAIGN.md`` for the task model, cache keying, and ledger
 schema.
 """
 
-from repro.campaign.tasks import CampaignTask, TaskResult, execute_task, SCHEMA_VERSION
+from repro.campaign.tasks import (
+    CampaignTask,
+    TaskResult,
+    execute_task,
+    parse_shard,
+    shard_tasks,
+    SCHEMA_VERSION,
+)
 from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.ledger import CampaignSummary, RunLedger, read_ledger
 from repro.campaign.runner import RunnerConfig, run_campaign
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.specs import build_spec, spec_names
+from repro.campaign.trend import TrendReport, compare_ledgers
 
 __all__ = [
     "CampaignTask",
     "TaskResult",
     "execute_task",
+    "parse_shard",
+    "shard_tasks",
     "SCHEMA_VERSION",
+    "TrendReport",
+    "compare_ledgers",
     "ResultCache",
     "CacheStats",
     "RunLedger",

@@ -48,6 +48,9 @@ class RunnerConfig:
     task_timeout: float | None = None  # seconds; pool mode only
     retries: int = 1  # extra attempts after a failed/timed-out task
     backoff: float = 0.5  # seconds before the first retry wave, then doubled
+    #: worker processes for frontier-parallel searches *inside* one task;
+    #: execution-only (never part of task identity or the cache key)
+    search_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -56,12 +59,16 @@ class RunnerConfig:
             raise ValueError("retries must be >= 0")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if self.search_jobs < 1:
+            raise ValueError("search_jobs must be >= 1")
 
 
-def _pool_worker(payload: dict) -> dict:
+def _pool_worker(payload: dict, search_jobs: int = 1) -> dict:
     """Worker-process entry: JSON in, JSON out (always picklable)."""
     task = CampaignTask.from_json(payload)
-    return execute_task(task, worker=f"pid{os.getpid()}").to_json()
+    return execute_task(
+        task, worker=f"pid{os.getpid()}", search_jobs=search_jobs
+    ).to_json()
 
 
 def _infra_failure(task: CampaignTask, error: str) -> TaskResult:
@@ -89,26 +96,36 @@ class _WaveExecutor:
     def run(self, tasks: Sequence[CampaignTask]) -> list[TaskResult]:
         if not tasks:
             return []
+        jobs = self.config.search_jobs
         if self.serial_forced:
-            return [execute_task(t, worker="serial") for t in tasks]
+            return [
+                execute_task(t, worker="serial", search_jobs=jobs) for t in tasks
+            ]
         return self._run_pool(tasks)
 
     def _run_pool(self, tasks: Sequence[CampaignTask]) -> list[TaskResult]:
+        jobs = self.config.search_jobs
         try:
             from concurrent.futures import ProcessPoolExecutor
 
             executor = ProcessPoolExecutor(max_workers=self.config.max_workers)
         except Exception:  # noqa: BLE001 - environment without process support
             self.serial_forced = True
-            return [execute_task(t, worker="serial") for t in tasks]
+            return [
+                execute_task(t, worker="serial", search_jobs=jobs) for t in tasks
+            ]
 
         results: list[TaskResult] = []
         broken = False
         try:
-            futures = [(executor.submit(_pool_worker, t.to_json()), t) for t in tasks]
+            futures = [
+                (executor.submit(_pool_worker, t.to_json(), jobs), t) for t in tasks
+            ]
             for fut, task in futures:
                 if broken:
-                    results.append(execute_task(task, worker="serial-fallback"))
+                    results.append(
+                        execute_task(task, worker="serial-fallback", search_jobs=jobs)
+                    )
                     continue
                 try:
                     results.append(

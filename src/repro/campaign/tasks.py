@@ -37,7 +37,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: bump when the result payload or task semantics change; salts the cache key
-SCHEMA_VERSION = 1
+#: (v2: two-phase min_delay/classify sweeps -- verdict-only symmetry-reduced
+#: searches change the reported ``states_explored`` details)
+SCHEMA_VERSION = 2
 
 ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg")
 
@@ -142,6 +144,33 @@ class CampaignTask:
         )
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse an ``"i/n"`` shard selector (1-based index ``i`` of ``n``)."""
+    try:
+        index_s, count_s = text.split("/")
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard must look like 'i/n', got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index out of range: {text!r} (need 1 <= i <= n)")
+    return index, count
+
+
+def shard_tasks(
+    tasks: list["CampaignTask"], index: int, count: int
+) -> list["CampaignTask"]:
+    """Deterministic hash-range shard ``index`` (1-based) of ``count``.
+
+    Selection is ``task_hash mod count``, so it depends only on task
+    content: every task lands in exactly one shard, re-ordering or
+    trimming the spec never moves a task between shards, and the shards'
+    ledgers/caches union to exactly the unsharded campaign (merge them by
+    pointing ``campaign status`` / the result cache at a shared
+    ``--cache-dir``).
+    """
+    return [t for t in tasks if int(t.task_hash, 16) % count == index - 1]
+
+
 @dataclass
 class TaskResult:
     """Outcome of one task, in ledger/cache-ready form."""
@@ -209,7 +238,9 @@ class TaskResult:
 # ----------------------------------------------------------------------
 # execution (module-level: must be importable/picklable from workers)
 # ----------------------------------------------------------------------
-def _run_reachability(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+def _run_reachability(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
     from repro.analysis import SystemSpec, search_deadlock
 
     spec = SystemSpec.uniform(bundle.messages, budget=int(p.get("budget", 0)))
@@ -217,12 +248,15 @@ def _run_reachability(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
         spec,
         max_states=int(p.get("max_states", 4_000_000)),
         find_witness=False,
+        jobs=search_jobs,
     )
     verdict = "deadlock" if res.deadlock_reachable else "unreachable"
     return verdict, {"states_explored": res.states_explored}
 
 
-def _run_classify(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+def _run_classify(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
     from repro.analysis.classify import classify_configuration, classify_cycle
 
     if bundle.cycle_classify is not None:
@@ -235,6 +269,7 @@ def _run_classify(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
             extra_copies=int(p.get("extra_copies", 1)),
             budget=int(p.get("budget", 0)),
             max_states=int(p.get("max_states", 2_000_000)),
+            search_jobs=search_jobs,
         )
         verdict = "deadlock" if cls.deadlock_reachable else "unreachable"
         return verdict, {
@@ -247,18 +282,22 @@ def _run_classify(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
         copy_depth=int(p.get("copy_depth", 1)),
         length_slack=int(p.get("length_slack", 0)),
         max_states=int(p.get("max_states", 4_000_000)),
+        search_jobs=search_jobs,
     )
     verdict = "deadlock" if reachable else "unreachable"
     return verdict, {"states_explored": res.states_explored}
 
 
-def _run_min_delay(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+def _run_min_delay(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
     from repro.analysis.delay import min_delay_to_deadlock
 
     res = min_delay_to_deadlock(
         bundle.messages,
         max_delay=int(p.get("max_delay", 8)),
         max_states=int(p.get("max_states", 8_000_000)),
+        search_jobs=search_jobs,
     )
     states = sum(r.states_explored for r in res.results.values())
     if res.min_delay is None:
@@ -273,7 +312,9 @@ def _run_min_delay(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
     }
 
 
-def _run_simulate(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+def _run_simulate(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
     from repro.sim import SimConfig, Simulator
 
     net, routing, specs = bundle.sim
@@ -295,7 +336,9 @@ def _run_simulate(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
     }
 
 
-def _run_cdg(bundle, p: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+def _run_cdg(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
     from repro.cdg import build_cdg, dally_seitz_numbering, is_acyclic, verify_numbering
 
     alg = bundle.algorithm
@@ -318,13 +361,20 @@ _KIND_RUNNERS = {
 }
 
 
-def execute_task(task: CampaignTask, *, worker: str = "") -> TaskResult:
+def execute_task(
+    task: CampaignTask, *, worker: str = "", search_jobs: int = 1
+) -> TaskResult:
     """Build the task's scenario and run its analysis.
 
     Never raises for task-level failures: the error is captured in the
     result (``ok=False``) so a single bad configuration cannot abort a
     thousand-task campaign.  Infrastructure errors (pool breakage,
     timeouts) are the runner's concern.
+
+    ``search_jobs`` is an *execution* knob (worker processes for
+    frontier-parallel reachability searches inside a task), deliberately
+    not a task parameter: it never enters the content hash, so cached
+    results stay valid whatever parallelism produced them.
     """
     from repro.campaign.scenarios import build_scenario
 
@@ -332,7 +382,7 @@ def execute_task(task: CampaignTask, *, worker: str = "") -> TaskResult:
     t0 = time.perf_counter()
     try:
         bundle = build_scenario(task.scenario, p)
-        verdict, detail = _KIND_RUNNERS[task.kind](bundle, p)
+        verdict, detail = _KIND_RUNNERS[task.kind](bundle, p, search_jobs)
         detail.update(bundle.detail)
         return TaskResult(
             task_hash=task.task_hash,

@@ -1,0 +1,129 @@
+"""Per-task wall-time trending between two campaign run ledgers.
+
+A campaign ledger accumulates one ``result`` line per task execution, so
+two ledgers (or one ledger before/after an optimisation) give a paired
+sample of per-task wall times keyed by content hash.  ``compare_ledgers``
+joins them on ``task_hash``, taking the *latest successful* execution of
+each task on either side, and flags tasks whose wall time grew by more
+than ``threshold``x -- the guard the CI benchmark-smoke job and
+``python -m repro campaign trend`` build on.
+
+Tiny tasks are pure scheduling noise, so a task only counts as a
+regression when its new wall time also exceeds ``min_seconds``.
+Improvements beyond the same ratio are reported (but never fail a run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.ledger import read_ledger
+from repro.campaign.tasks import TaskResult
+
+
+@dataclass
+class TrendLine:
+    """One task present in both ledgers."""
+
+    task_hash: str
+    name: str
+    old_wall: float
+    new_wall: float
+
+    @property
+    def ratio(self) -> float:
+        """new/old wall-time ratio; infinity when the old time was ~zero."""
+        if self.old_wall <= 0:
+            return float("inf") if self.new_wall > 0 else 1.0
+        return self.new_wall / self.old_wall
+
+    def row(self) -> dict[str, Any]:
+        ratio = self.ratio
+        return {
+            "task": self.name,
+            "old (s)": round(self.old_wall, 3),
+            "new (s)": round(self.new_wall, 3),
+            "ratio": "inf" if ratio == float("inf") else round(ratio, 2),
+        }
+
+
+@dataclass
+class TrendReport:
+    """Join of two ledgers' latest per-task wall times."""
+
+    old_path: str
+    new_path: str
+    threshold: float
+    min_seconds: float
+    compared: list[TrendLine] = field(default_factory=list)
+    regressions: list[TrendLine] = field(default_factory=list)
+    improvements: list[TrendLine] = field(default_factory=list)
+    only_old: int = 0
+    only_new: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary_rows(self) -> dict[str, Any]:
+        return {
+            "old ledger": self.old_path,
+            "new ledger": self.new_path,
+            "tasks compared": len(self.compared),
+            "only in old": self.only_old,
+            "only in new": self.only_new,
+            "threshold": f"{self.threshold:g}x (min {self.min_seconds:g}s)",
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+        }
+
+
+def latest_by_task(results: list[TaskResult]) -> dict[str, TaskResult]:
+    """Last successful execution per task hash (ledger lines are appended
+    in time order, so iteration order is already oldest-to-newest)."""
+    latest: dict[str, TaskResult] = {}
+    for res in results:
+        if res.ok:
+            latest[res.task_hash] = res
+    return latest
+
+
+def compare_ledgers(
+    old_path: str | Path,
+    new_path: str | Path,
+    *,
+    threshold: float = 1.5,
+    min_seconds: float = 0.05,
+) -> TrendReport:
+    """Diff per-task wall times of ``new_path`` against ``old_path``."""
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1 (a ratio of new to old wall time)")
+    old = latest_by_task(read_ledger(old_path)[0])
+    new = latest_by_task(read_ledger(new_path)[0])
+
+    report = TrendReport(
+        old_path=str(old_path),
+        new_path=str(new_path),
+        threshold=threshold,
+        min_seconds=min_seconds,
+        only_old=len(old.keys() - new.keys()),
+        only_new=len(new.keys() - old.keys()),
+    )
+    for task_hash in sorted(old.keys() & new.keys()):
+        o, n = old[task_hash], new[task_hash]
+        line = TrendLine(
+            task_hash=task_hash,
+            name=n.name or o.name,
+            old_wall=o.wall_time,
+            new_wall=n.wall_time,
+        )
+        report.compared.append(line)
+        if line.new_wall >= min_seconds and line.ratio > threshold:
+            report.regressions.append(line)
+        elif line.old_wall >= min_seconds and line.ratio < 1.0 / threshold:
+            report.improvements.append(line)
+    report.regressions.sort(key=lambda ln: ln.ratio, reverse=True)
+    report.improvements.sort(key=lambda ln: ln.ratio)
+    return report

@@ -15,6 +15,8 @@ Examples
 
     # verification campaigns: parallel, cached, ledgered sweeps
     python -m repro campaign run --spec paper-battery --jobs 4
+    python -m repro campaign run --spec paper-battery --shard 1/3
+    python -m repro campaign trend old.jsonl new.jsonl --threshold 1.5
     python -m repro campaign status
     python -m repro campaign clean
 
@@ -33,7 +35,7 @@ from collections.abc import Sequence
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from repro.experiments import render_table, run_fig1_experiment
 
-    res = run_fig1_experiment(max_delay=args.max_delay)
+    res = run_fig1_experiment(max_delay=args.max_delay, search_jobs=args.search_jobs)
     print(render_table(res.summary_rows(), title="E1: Figure 1 / Theorem 1"))
     print()
     print("\n".join(res.narrative))
@@ -160,17 +162,25 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
     try:
         tasks = build_spec(args.spec, limit=args.limit)
+        shard = None
+        if args.shard:
+            from repro.campaign import parse_shard, shard_tasks
+
+            shard = parse_shard(args.shard)
+            tasks = shard_tasks(tasks, *shard)
         config = RunnerConfig(
             max_workers=args.jobs,
             task_timeout=args.timeout,
             retries=args.retries,
+            search_jobs=args.search_jobs,
         )
     except (KeyError, ValueError) as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    ledger_path = args.ledger or _default_ledger(args.cache_dir, args.spec)
+    spec_label = args.spec if shard is None else f"{args.spec}-shard{shard[0]}of{shard[1]}"
+    ledger_path = args.ledger or _default_ledger(args.cache_dir, spec_label)
     with RunLedger(ledger_path) as ledger:
         _, summary = run_campaign(
             tasks,
@@ -178,14 +188,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             ledger=ledger,
             progress=ProgressReporter(len(tasks), enabled=not args.no_progress),
             config=config,
-            spec_name=args.spec,
+            spec_name=spec_label,
         )
     rows = summary.rows()
     rows["ledger"] = ledger_path
     if cache is not None:
         rows["cache dir"] = args.cache_dir
         rows["cache hit rate"] = f"{cache.stats.hit_rate:.0%}"
-    print(render_kv(rows, title=f"campaign: {args.spec}"))
+    print(render_kv(rows, title=f"campaign: {spec_label}"))
     for mismatch in summary.expect_mismatches:
         print(f"  MISMATCH {mismatch}")
     return 0 if summary.all_expected else 1
@@ -204,13 +214,17 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     ))
     ledger_dir = Path(args.cache_dir) / "ledgers"
     rows = []
+    merged: dict[str, bool] = {}  # task_hash -> ok of latest execution
     for path in sorted(ledger_dir.glob("*.jsonl")):
         results, summaries = read_ledger(path)
         last = summaries[-1] if summaries else {}
+        for res in results:
+            merged[res.task_hash] = res.ok
         rows.append(
             {
                 "ledger": path.name,
                 "results": len(results),
+                "distinct tasks": len({r.task_hash for r in results}),
                 "runs": len(summaries),
                 "last wall (s)": last.get("wall_time", "-"),
                 "last cache hits": last.get("from_cache", "-"),
@@ -223,7 +237,45 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         )
     print()
     print(render_table(rows, title="campaign ledgers"))
+    if rows:
+        # the union view is how sharded runs (--shard i/n) are merged:
+        # shards share the cache and write disjoint hash-keyed ledgers
+        ok = sum(1 for good in merged.values() if good)
+        print()
+        print(render_kv(
+            {"distinct tasks": len(merged), "ok": ok, "failed": len(merged) - ok},
+            title="merged across ledgers",
+        ))
     return 0
+
+
+def _cmd_campaign_trend(args: argparse.Namespace) -> int:
+    from repro.campaign import compare_ledgers
+    from repro.experiments import render_kv, render_table
+
+    try:
+        report = compare_ledgers(
+            args.old, args.new,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_kv(report.summary_rows(), title="campaign trend"))
+    if report.regressions:
+        print()
+        print(render_table(
+            [ln.row() for ln in report.regressions],
+            title=f"regressions (> {report.threshold:g}x)",
+        ))
+    if report.improvements:
+        print()
+        print(render_table(
+            [ln.row() for ln in report.improvements],
+            title=f"improvements (< 1/{report.threshold:g}x)",
+        ))
+    return 0 if report.ok else 1
 
 
 def _cmd_campaign_clean(args: argparse.Namespace) -> int:
@@ -251,8 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_search_jobs_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--search-jobs", type=int, default=1,
+            help="worker processes for frontier-parallel reachability "
+            "searches (default 1: serial; parallel pays only on "
+            "multi-core machines and large frontiers)",
+        )
+
     p = sub.add_parser("fig1", help="Figure 1 / Theorem 1 battery")
     p.add_argument("--max-delay", type=int, default=3)
+    add_search_jobs_flag(p)
     p.set_defaults(fn=_cmd_fig1)
 
     p = sub.add_parser("fig2", help="Figure 2 / Theorem 4 sweep")
@@ -317,7 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("--retries", type=int, default=1, help="retries per failed task")
     pr.add_argument("--no-progress", action="store_true")
+    pr.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only hash-range shard I of N (1-based); shards are "
+        "disjoint, content-stable, and merge via a shared --cache-dir "
+        "(see 'campaign status')",
+    )
+    add_search_jobs_flag(pr)
     pr.set_defaults(fn=_cmd_campaign_run)
+
+    pt = csub.add_parser(
+        "trend", help="diff per-task wall times between two run ledgers"
+    )
+    pt.add_argument("old", help="baseline ledger (JSONL)")
+    pt.add_argument("new", help="candidate ledger (JSONL)")
+    pt.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="flag tasks whose wall time grew beyond this ratio (default 1.5)",
+    )
+    pt.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="ignore tasks faster than this in the new ledger (noise floor)",
+    )
+    pt.set_defaults(fn=_cmd_campaign_trend)
 
     ps = csub.add_parser("status", help="summarise cache + ledgers")
     ps.add_argument("--cache-dir", default=".campaign-cache")

@@ -82,8 +82,15 @@ class Fig1Result:
         ]
 
 
-def run_fig1_experiment(*, max_delay: int = 6, with_copies: bool = True) -> Fig1Result:
-    """Run the full E1 battery.  Takes a few seconds."""
+def run_fig1_experiment(
+    *, max_delay: int = 6, with_copies: bool = True, search_jobs: int = 1
+) -> Fig1Result:
+    """Run the full E1 battery.  Takes a few seconds.
+
+    ``search_jobs`` fans the verdict-only reachability searches (the extra
+    copies / longer messages checks and the delay sweep) out across worker
+    processes; the witness searches stay serial.
+    """
     cdn = build_cyclic_dependency_network()
     alg = cdn.algorithm
     cdg = build_cdg(alg)
@@ -102,11 +109,16 @@ def run_fig1_experiment(*, max_delay: int = 6, with_copies: bool = True) -> Fig1
             CheckerMessage(msgs[3].path, msgs[3].length, "M4copy"),
         ]
         copies_ok = not search_deadlock(
-            SystemSpec.uniform(extra, budget=0), max_states=8_000_000
+            SystemSpec.uniform(extra, budget=0),
+            max_states=8_000_000,
+            find_witness=False,
+            jobs=search_jobs,
         ).deadlock_reachable
 
     longer = [CheckerMessage(m.path, m.length + 1, m.tag) for m in msgs]
-    longer_ok = not search_deadlock(SystemSpec.uniform(longer, budget=0)).deadlock_reachable
+    longer_ok = not search_deadlock(
+        SystemSpec.uniform(longer, budget=0), find_witness=False, jobs=search_jobs
+    ).deadlock_reachable
 
     # analytic model on the sparse geometry
     cycle_specs = [
@@ -119,7 +131,7 @@ def run_fig1_experiment(*, max_delay: int = 6, with_copies: bool = True) -> Fig1
     ]
     analytic = analytic_schedule_feasible(cycle_specs)
 
-    delay = min_delay_to_deadlock(msgs, max_delay=max_delay)
+    delay = min_delay_to_deadlock(msgs, max_delay=max_delay, search_jobs=search_jobs)
     replay_ok = False
     if delay.min_delay is not None:
         witness = delay.results[delay.min_delay].witness
