@@ -9,7 +9,6 @@
   cycle messages never turn Figure 1 into a deadlock.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis import SystemSpec, search_deadlock

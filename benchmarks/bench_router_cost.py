@@ -5,7 +5,6 @@ the flip side for the paper's own construction: Figure 1's hub router N*
 concentrates the whole network and clocks far slower than a mesh router.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.core.cyclic_dependency import build_cyclic_dependency_network

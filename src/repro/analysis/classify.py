@@ -32,7 +32,6 @@ import itertools
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-import networkx as nx
 
 from repro.analysis.reachability import SearchResult, search_deadlock
 from repro.analysis.state import CheckerMessage, SystemSpec
@@ -118,6 +117,10 @@ class CycleClassification:
     scenarios_tested: int
     witness_result: SearchResult | None = field(default=None, repr=False)
     notes: list[str] = field(default_factory=list)
+    #: rule code of the static certificate that decided (or confirmed) the
+    #: verdict; ``None`` when the search decided alone.
+    #: ``scenarios_tested == 0`` iff the certificate alone decided.
+    certificate: str | None = None
 
     @property
     def is_false_resource_cycle(self) -> bool:
@@ -129,31 +132,13 @@ def _cycle_runs(
 ) -> list[tuple[int, int]]:
     """Maximal runs of ``path`` along ``cycle``, as (start index, length).
 
-    A run is a maximal stretch of consecutive path channels that are also
-    consecutive cycle channels in cycle order.
+    Thin channel-object wrapper over the shared cid-domain implementation
+    in :func:`repro.lint.tiling.cycle_runs` (the static certificates use
+    the same core, so classifier and linter cannot drift apart).
     """
-    pos = {ch.cid: i for i, ch in enumerate(cycle)}
-    n = len(cycle)
-    runs: list[tuple[int, int]] = []
-    i = 0
-    path = list(path)
-    while i < len(path):
-        ch = path[i]
-        if ch.cid not in pos:
-            i += 1
-            continue
-        start = pos[ch.cid]
-        length = 1
-        while (
-            i + length < len(path)
-            and path[i + length].cid in pos
-            and pos[path[i + length].cid] == (start + length) % n
-            and length < n
-        ):
-            length += 1
-        runs.append((start, length))
-        i += length
-    return runs
+    from repro.lint.tiling import cycle_runs
+
+    return cycle_runs([ch.cid for ch in cycle], [ch.cid for ch in path])
 
 
 def messages_for_cycle(
@@ -188,74 +173,19 @@ def enumerate_tilings(
     ``start_{i+1}`` lies strictly inside message ``i``'s run -- that is
     exactly "the first channel message ``m_{i+1}`` uses in the cycle blocks
     ``m_i``" from the paper's deadlock definition.
+
+    Thin wrapper over the shared implementation in
+    :func:`repro.lint.tiling.enumerate_tilings` (also used by the static
+    certificates), preserving the historical :class:`CycleTiling` return
+    type.
     """
-    n = len(cycle)
-    # run starts -> list of (pair, run_length)
-    by_start: dict[int, list[tuple[Pair, int]]] = {}
-    for pair, runs in candidates.items():
-        for start, length in runs:
-            by_start.setdefault(start, []).append((pair, length))
+    from repro.lint.tiling import enumerate_tilings as _enumerate
 
-    tilings: list[CycleTiling] = []
-    starts = sorted(by_start)
-    if not starts:
-        return tilings
-
-    def dfs(
-        origin: int,
-        position: int,
-        covered: int,
-        used: list[tuple[Pair, int]],
-    ) -> None:
-        if len(tilings) >= max_tilings:
-            return
-        for pair, run_len in by_start.get(position, ()):  # messages entering here
-            if any(p == pair for p, _ in used):
-                continue
-            # message may hold 1 .. run_len-? channels; the next message
-            # must start inside this run, i.e. hold h in [1, run_len] with
-            # the successor's first channel at position + h.  Holding all
-            # run_len channels is allowed only when position + run_len
-            # closes the tiling at origin (header then blocked at its own
-            # next channel beyond the run -- not a Definition 6 cycle), so
-            # require the blocked channel to be in the run: h <= run_len - 1,
-            # unless closing exactly at origin with h == run_len... closing
-            # at origin requires the blocked channel to be the origin
-            # channel, which IS in cycle order the successor's first channel;
-            # that needs position + h == origin (mod n) with h <= run_len.
-            for hold in range(1, run_len + 1):
-                nxt = (position + hold) % n
-                new_cov = covered + hold
-                if new_cov > n:
-                    break
-                closes = nxt == origin and new_cov == n
-                if closes:
-                    # the message must actually be blockable at `nxt`:
-                    # its run must extend to include the origin channel.
-                    if hold <= run_len - 1 or run_len == n:
-                        tilings.append(
-                            CycleTiling(
-                                pairs=[p for p, _ in used] + [pair],
-                                held_lengths=[h for _, h in used] + [hold],
-                            )
-                        )
-                    continue
-                if hold >= run_len:
-                    continue  # successor must start strictly inside the run
-                if nxt in by_start:
-                    used.append((pair, hold))
-                    dfs(origin, nxt, new_cov, used)
-                    used.pop()
-
-    for origin in starts:
-        # canonical: smallest start index begins the tiling, to avoid
-        # rotations being enumerated repeatedly
-        dfs(origin, origin, 0, [])
-        # only use the smallest viable origin; rotations of a tiling are
-        # the same configuration
-        if tilings:
-            break
-    return tilings
+    tilings = _enumerate(len(cycle), candidates, max_tilings=max_tilings)
+    return [
+        CycleTiling(pairs=list(t.members), held_lengths=list(t.held_lengths))
+        for t in tilings
+    ]
 
 
 def classify_cycle(
@@ -269,6 +199,7 @@ def classify_cycle(
     max_states: int = 2_000_000,
     max_scenarios: int = 256,
     search_jobs: int = 1,
+    certificates: str | None = None,
 ) -> CycleClassification:
     """Decide whether ``cycle`` can produce a reachable deadlock.
 
@@ -278,8 +209,74 @@ def classify_cycle(
     each type (the paper's "more than four messages" case in Theorem 1's
     proof).  ``budget`` is the per-message stall allowance (0 = the paper's
     tight synchrony).
+
+    ``certificates`` mirrors :func:`~repro.analysis.reachability.search_deadlock`:
+    ``"on"`` (default) asks :func:`repro.lint.certificates.cycle_certificate`
+    first and skips every search when a static REACHABLE_DEADLOCK argument
+    (Corollaries 1-3, Theorems 2-4) applies; ``"off"`` disables the
+    pre-pass; ``"check"`` runs both and raises
+    :class:`~repro.lint.certificates.CertificateMismatch` on disagreement.
+    There is no static deadlock-free verdict at cycle level, so "cycle is a
+    false resource cycle" always comes from the search.
     """
+    from repro.lint.certificates import (
+        CertificateMismatch,
+        certificates_mode,
+        cycle_certificate,
+    )
+
     cycle = tuple(cycle)
+    cert_mode = certificates_mode(certificates)
+    cert = (
+        cycle_certificate(alg, cycle, pairs) if cert_mode != "off" else None
+    )
+    if cert is not None and cert_mode == "on":
+        return CycleClassification(
+            cycle=cycle,
+            deadlock_reachable=True,
+            tilings_tested=1,
+            scenarios_tested=0,
+            notes=[f"static certificate {cert.code}: {cert.rationale}"],
+            certificate=cert.code,
+        )
+
+    result = _classify_cycle_search(
+        alg,
+        cycle,
+        pairs=pairs,
+        length_slack=length_slack,
+        extra_copies=extra_copies,
+        budget=budget,
+        max_states=max_states,
+        max_scenarios=max_scenarios,
+        search_jobs=search_jobs,
+    )
+    if cert is not None:
+        # check mode: certificate claimed reachable; the bounded search must
+        # agree (its scenario family includes the certificate's tiling)
+        if not result.deadlock_reachable:
+            raise CertificateMismatch(
+                f"static certificate {cert.code} says the cycle deadlock is "
+                f"reachable but the search classified it as a false resource "
+                f"cycle ({result.scenarios_tested} scenarios tested)"
+            )
+        result.certificate = cert.code
+    return result
+
+
+def _classify_cycle_search(
+    alg: RoutingAlgorithm,
+    cycle: tuple[Channel, ...],
+    *,
+    pairs: Sequence[Pair] | None,
+    length_slack: int,
+    extra_copies: int,
+    budget: int,
+    max_states: int,
+    max_scenarios: int,
+    search_jobs: int,
+) -> CycleClassification:
+    """The search-based classification (certificate pre-pass already done)."""
     candidates = messages_for_cycle(alg, cycle, pairs)
     tilings = enumerate_tilings(cycle, candidates)
     notes: list[str] = []

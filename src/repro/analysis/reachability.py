@@ -66,6 +66,10 @@ class SearchResult:
     witness: Witness | None
     states_explored: int
     spec: SystemSpec | None = field(repr=False, default=None)
+    #: rule code of the static certificate that decided (or confirmed) the
+    #: verdict, e.g. ``"CRT001"``; ``None`` when the BFS decided alone.
+    #: ``states_explored == 0`` iff the certificate alone decided.
+    certificate: str | None = None
 
     @property
     def is_false_resource_cycle(self) -> bool:
@@ -127,6 +131,7 @@ def search_deadlock(
     symmetry_reduction: bool | None = None,
     engine: str | None = None,
     jobs: int = 1,
+    certificates: str | None = None,
 ) -> SearchResult:
     """Decide whether any reachable state of ``spec`` is a deadlock.
 
@@ -159,6 +164,18 @@ def search_deadlock(
         Worker processes for frontier-parallel expansion (verdict-only
         searches).  ``1`` means serial; witness and reference searches
         ignore it (a witness needs the whole parent map in one process).
+    certificates:
+        ``"on"`` (default) consults the static linter first: when
+        :func:`repro.lint.certificates.spec_certificate` decides the
+        verdict, the BFS is skipped entirely (``states_explored == 0``,
+        ``certificate`` set to the rule code).  A reachable certificate
+        only short-circuits when ``find_witness`` is false -- witnesses
+        still require the search.  ``"off"`` disables the pre-pass;
+        ``"check"`` runs *both* and raises
+        :class:`~repro.lint.certificates.CertificateMismatch` if they
+        disagree (the cross-checking analogue of the fast/reference
+        engine pair).  The ``REPRO_STATIC_CERTIFICATES`` environment
+        variable supplies the default.
 
     Notes
     -----
@@ -177,15 +194,73 @@ def search_deadlock(
     if dead:  # pragma: no cover - empty network can't deadlock
         raise AssertionError("initial state deadlocked; spec is malformed")
 
+    # static-certificate pre-pass (lazy import: lint sits above analysis)
+    from repro.lint.certificates import (
+        CertificateMismatch,
+        certificates_mode,
+        spec_certificate,
+    )
+
+    cert_mode = certificates_mode(certificates)
+    cert = spec_certificate(spec) if cert_mode != "off" else None
+    if cert is not None and cert_mode == "on":
+        if not cert.deadlock_reachable:
+            return SearchResult(
+                deadlock_reachable=False,
+                witness=None,
+                states_explored=0,
+                spec=spec,
+                certificate=cert.code,
+            )
+        if not find_witness:
+            return SearchResult(
+                deadlock_reachable=True,
+                witness=None,
+                states_explored=0,
+                spec=spec,
+                certificate=cert.code,
+            )
+        # reachable certificate but a witness was requested: fall through
+        # to the search; the result still records the confirming code.
+
     if engine == "fast":
-        return _search_fast(
+        result = _search_fast(
             spec,
             max_states=max_states,
             find_witness=find_witness,
             symmetry_reduction=symmetry_reduction,
             jobs=jobs,
         )
+    else:
+        result = _search_reference(
+            spec,
+            init,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+        )
 
+    if cert is not None:
+        if cert_mode == "check" and result.deadlock_reachable != cert.deadlock_reachable:
+            raise CertificateMismatch(
+                f"static certificate {cert.code} says "
+                f"{'reachable' if cert.deadlock_reachable else 'deadlock-free'} "
+                f"but the search found the opposite "
+                f"({result.states_explored} states explored)"
+            )
+        result.certificate = cert.code
+    return result
+
+
+def _search_reference(
+    spec: SystemSpec,
+    init: SystemState,
+    *,
+    max_states: int,
+    find_witness: bool,
+    symmetry_reduction: bool,
+) -> SearchResult:
+    """The original :meth:`SystemSpec.successors`-driven BFS (oracle engine)."""
     canon = _symmetry_canonicalizer(spec) if symmetry_reduction else None
     visited: set[SystemState] = {canon(init) if canon else init}
     parent: dict[SystemState, tuple[SystemState, tuple[str, ...]]] = {}

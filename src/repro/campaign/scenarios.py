@@ -67,13 +67,22 @@ def _fig1(p: dict[str, Any]) -> ScenarioBundle:
     """The Figure 1 Cyclic Dependency network's four cycle messages.
 
     ``extra_length`` lengthens every message; ``with_copies`` adds the
-    Theorem 1 proof's interposed M2/M4 copies.
+    Theorem 1 proof's interposed M2/M4 copies; ``subset`` restricts to the
+    named message tags (e.g. ``["M1", "M3"]`` -- an acyclic sub-scenario
+    the static certificates decide without search).
     """
     from repro.analysis.state import CheckerMessage
     from repro.core.cyclic_dependency import build_cyclic_dependency_network
 
     cdn = build_cyclic_dependency_network()
     msgs = cdn.checker_messages()
+    subset = p.get("subset")
+    if subset:
+        wanted = {str(t) for t in subset}
+        unknown = wanted - {m.tag for m in msgs}
+        if unknown:
+            raise ValueError(f"unknown fig1 message tags {sorted(unknown)}")
+        msgs = [m for m in msgs if m.tag in wanted]
     extra = int(p.get("extra_length", 0))
     if extra:
         msgs = [CheckerMessage(m.path, m.length + extra, m.tag) for m in msgs]
@@ -82,7 +91,7 @@ def _fig1(p: dict[str, Any]) -> ScenarioBundle:
             CheckerMessage(msgs[1].path, msgs[1].length, "M2copy"),
             CheckerMessage(msgs[3].path, msgs[3].length, "M4copy"),
         ]
-    return ScenarioBundle(messages=msgs)
+    return ScenarioBundle(messages=msgs, algorithm=cdn.algorithm)
 
 
 @register("fig2-pair")
@@ -96,7 +105,7 @@ def _fig2_pair(p: dict[str, Any]) -> ScenarioBundle:
         hold_1=int(p.get("hold", 3)),
         hold_2=int(p.get("hold", 3)),
     )
-    return ScenarioBundle(messages=cfg.checker_messages())
+    return ScenarioBundle(messages=cfg.checker_messages(), algorithm=cfg.algorithm)
 
 
 @register("fig3-panel")
@@ -110,6 +119,7 @@ def _fig3_panel(p: dict[str, Any]) -> ScenarioBundle:
     report = evaluate_conditions(TheoremFiveInput.from_specs(list(params.specs)))
     return ScenarioBundle(
         messages=construction.checker_messages(),
+        algorithm=construction.algorithm,
         detail={
             "conditions_unreachable": report.all_hold,
             "failed_conditions": list(report.failed()),
@@ -143,7 +153,11 @@ def _shared_cycle(p: dict[str, Any]) -> ScenarioBundle:
             "conditions_unreachable": report.all_hold,
             "failed_conditions": list(report.failed()),
         }
-    return ScenarioBundle(messages=construction.checker_messages(), detail=detail)
+    return ScenarioBundle(
+        messages=construction.checker_messages(),
+        algorithm=construction.algorithm,
+        detail=detail,
+    )
 
 
 @register("minimal-config")
@@ -159,7 +173,9 @@ def _minimal_config(p: dict[str, Any]) -> ScenarioBundle:
     construction = build_shared_cycle(specs, name="campaign-minimal")
     minimal = is_minimal(construction.algorithm, construction.message_pairs)
     return ScenarioBundle(
-        messages=construction.checker_messages(), detail={"minimal": minimal}
+        messages=construction.checker_messages(),
+        algorithm=construction.algorithm,
+        detail={"minimal": minimal},
     )
 
 
@@ -178,15 +194,18 @@ def _theorem2_overlap(p: dict[str, Any]) -> ScenarioBundle:
             kw["approach_len"] = int(approach_lens[i])
         overlaps.append(OverlapSpec(**kw))
     cfg = build_overlapping_ring(int(p["ring_n"]), overlaps)
-    return ScenarioBundle(messages=cfg.checker_messages())
+    return ScenarioBundle(messages=cfg.checker_messages(), algorithm=cfg.algorithm)
 
 
 @register("gen")
 def _gen(p: dict[str, Any]) -> ScenarioBundle:
     """The Section 6 family ``Gen(m)``."""
-    from repro.core.generalized import generalized_messages
+    from repro.core.generalized import build_generalized
 
-    return ScenarioBundle(messages=generalized_messages(int(p["m"])))
+    construction = build_generalized(int(p["m"]))
+    return ScenarioBundle(
+        messages=construction.checker_messages(), algorithm=construction.algorithm
+    )
 
 
 # ----------------------------------------------------------------------
@@ -258,12 +277,13 @@ def _ring_cycle(p: dict[str, Any]) -> ScenarioBundle:
     cycles = find_cycles(build_cdg(alg)).cycles
     if len(cycles) != 1:
         raise RuntimeError(f"expected one ring cycle, found {len(cycles)}")
-    return ScenarioBundle(cycle_classify=(alg, cycles[0], None))
+    return ScenarioBundle(algorithm=alg, cycle_classify=(alg, cycles[0], None))
 
 
 @register("traffic")
 def _traffic(p: dict[str, Any]) -> ScenarioBundle:
     """Uniform random traffic on a baseline (topology, algorithm) pair."""
+    from repro.routing import RoutingAlgorithm
     from repro.sim.traffic import uniform_random_traffic
 
     net, fn = _baseline_algorithm(p)
@@ -274,7 +294,7 @@ def _traffic(p: dict[str, Any]) -> ScenarioBundle:
         length=int(p.get("length", 4)),
         seed=int(p.get("seed", 11)),
     )
-    return ScenarioBundle(sim=(net, fn, specs))
+    return ScenarioBundle(sim=(net, fn, specs), algorithm=RoutingAlgorithm(fn))
 
 
 # ----------------------------------------------------------------------

@@ -4,9 +4,11 @@
 the proof's length and copy augmentations), the Figure 2 / Theorem 4 grid,
 the six Figure 3 / Theorem 5 panels plus the random condition sweep, the
 Theorem 2 overlap family, the Theorem 3 minimality sweep, the Section 6
-``Gen(m)`` delay grid, and the Section 5 corollary baselines -- CDG
+``Gen(m)`` delay grid, the Section 5 corollary baselines -- CDG
 structure, ring-cycle classification, and validation traffic -- across
-mesh/ring/hypercube/torus sizes.  Each task carries the paper's stated
+mesh/ring/hypercube/torus sizes, and a static-linter cross-section whose
+expectations pin which scenarios the certificates decide (and, just as
+deliberately, which they must leave undecided).  Each task carries the paper's stated
 verdict as ``expect`` where the paper states one, so a campaign run is
 itself a reproduction check: the summary counts expectation mismatches.
 
@@ -212,6 +214,47 @@ def baseline_tasks() -> list[CampaignTask]:
     return tasks
 
 
+def lint_tasks() -> list[CampaignTask]:
+    """Static-linter cross-section: one task per interesting verdict class.
+
+    ``expect`` is the *static* verdict: certificate-decided scenarios must
+    stay decided (``deadlock_free`` / ``reachable_deadlock``), and the
+    paper's star cases -- Figure 1 and the Theorem 5 panels, whose whole
+    point is that statics are not enough -- must stay ``undecided``.
+    """
+    return [
+        # Dally-Seitz certificates (Corollary baselines)
+        CampaignTask.make(
+            "lint", "baseline-cdg", algorithm="dor", dims=(3, 3),
+            expect="deadlock_free",
+        ),
+        CampaignTask.make(
+            "lint", "baseline-cdg", algorithm="dateline", dims=(4, 4),
+            expect="deadlock_free",
+        ),
+        CampaignTask.make(
+            "lint", "baseline-cdg", algorithm="ecube", d=3, expect="deadlock_free"
+        ),
+        # reachable-deadlock certificates (Theorems 2 and 4)
+        CampaignTask.make("lint", "ring-cycle", n=4, expect="reachable_deadlock"),
+        CampaignTask.make(
+            "lint", "fig2-pair", d1=3, d2=1, hold=3, expect="reachable_deadlock"
+        ),
+        CampaignTask.make(
+            "lint",
+            "theorem2-overlap",
+            ring_n=6,
+            entries=(0, 2, 4),
+            run_lens=(3, 3, 3),
+            expect="reachable_deadlock",
+        ),
+        # statics must NOT decide these (unreachable cycles / delay-gated)
+        CampaignTask.make("lint", "fig1", expect="undecided"),
+        CampaignTask.make("lint", "fig3-panel", panel="a", expect="undecided"),
+        CampaignTask.make("lint", "gen", m=2, expect="undecided"),
+    ]
+
+
 def traffic_tasks() -> list[CampaignTask]:
     """Simulator-validation workloads (V1) plus the ring positive control."""
     tasks: list[CampaignTask] = []
@@ -267,6 +310,11 @@ def paper_battery() -> list[CampaignTask]:
             expect="unreachable",
         ),
         CampaignTask.make("min_delay", "fig1", max_delay=3, expect="delta=1"),
+        # the M1/M3 sub-scenario has an acyclic dependency graph: the
+        # static certificate decides it with zero search states
+        CampaignTask.make(
+            "reachability", "fig1", subset=("M1", "M3"), expect="unreachable"
+        ),
     ]
     tasks += fig2_grid_tasks()
     tasks += fig3_panel_tasks()
@@ -275,6 +323,7 @@ def paper_battery() -> list[CampaignTask]:
     tasks += theorem3_tasks()
     tasks += gen_tasks((1, 2, 3))
     tasks += baseline_tasks()
+    tasks += lint_tasks()
     tasks += traffic_tasks()
     return tasks
 
@@ -305,6 +354,7 @@ def quick() -> list[CampaignTask]:
         CampaignTask.make("classify", "ring-cycle", n=4, expect="deadlock"),
         CampaignTask.make("cdg", "baseline-cdg", algorithm="dor", dims=(3, 3),
                           expect="acyclic"),
+        CampaignTask.make("lint", "ring-cycle", n=4, expect="reachable_deadlock"),
         CampaignTask.make(
             "simulate", "traffic", algorithm="dor", dims=(4, 4), rate=0.02,
             expect="delivered",

@@ -16,7 +16,11 @@ A :class:`CampaignTask` names *what* to verify -- a registered scenario
     a timed flit-level run (:class:`repro.sim.engine.Simulator`);
 ``cdg``
     channel-dependency-graph structure checks (acyclicity + Dally--Seitz
-    numbering) for the corollary baselines.
+    numbering) for the corollary baselines;
+``lint``
+    the static deadlock linter (:func:`repro.lint.lint_algorithm` /
+    :func:`repro.lint.lint_messages`): rule diagnostics plus at most one
+    search-free certificate verdict.
 
 Identity is the sha256 of the canonical JSON of ``(kind, scenario,
 params)`` -- stable across process restarts, dict orderings, and Python
@@ -37,11 +41,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: bump when the result payload or task semantics change; salts the cache key
-#: (v2: two-phase min_delay/classify sweeps -- verdict-only symmetry-reduced
-#: searches change the reported ``states_explored`` details)
-SCHEMA_VERSION = 2
+#: (v3: static-certificate pre-pass -- certificate-decided reachability and
+#: classify tasks report ``states_explored``/``scenarios_tested`` of 0 and a
+#: ``certificate`` detail; new ``lint`` kind)
+SCHEMA_VERSION = 3
 
-ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg")
+ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg", "lint")
 
 Params = tuple[tuple[str, Any], ...]
 
@@ -251,7 +256,10 @@ def _run_reachability(
         jobs=search_jobs,
     )
     verdict = "deadlock" if res.deadlock_reachable else "unreachable"
-    return verdict, {"states_explored": res.states_explored}
+    return verdict, {
+        "states_explored": res.states_explored,
+        "certificate": res.certificate,
+    }
 
 
 def _run_classify(
@@ -275,6 +283,7 @@ def _run_classify(
         return verdict, {
             "tilings_tested": cls.tilings_tested,
             "scenarios_tested": cls.scenarios_tested,
+            "certificate": cls.certificate,
         }
     reachable, res = classify_configuration(
         bundle.messages,
@@ -352,12 +361,36 @@ def _run_cdg(
     return "cyclic", detail
 
 
+def _run_lint(
+    bundle, p: dict[str, Any], search_jobs: int = 1
+) -> tuple[str, dict[str, Any]]:
+    from repro.lint import lint_algorithm, lint_messages
+
+    if bundle.algorithm is not None:
+        report = lint_algorithm(
+            bundle.algorithm, max_cycles=int(p.get("max_cycles", 10_000))
+        )
+    elif bundle.messages:
+        report = lint_messages(bundle.messages, budget=int(p.get("budget", 0)))
+    else:
+        raise ValueError("scenario exposes neither an algorithm nor messages to lint")
+    cert_diag = report.certificate_diagnostic
+    return report.verdict, {
+        "certificate": None if cert_diag is None else cert_diag.code,
+        "max_severity": report.max_severity,
+        "diagnostics": sorted(d.code for d in report.diagnostics),
+        "errors": len(report.errors),
+        "rules_run": len(report.rules_run),
+    }
+
+
 _KIND_RUNNERS = {
     "reachability": _run_reachability,
     "classify": _run_classify,
     "min_delay": _run_min_delay,
     "simulate": _run_simulate,
     "cdg": _run_cdg,
+    "lint": _run_lint,
 }
 
 

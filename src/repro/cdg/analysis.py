@@ -57,10 +57,19 @@ def cycle_channels(cycle: Sequence[Channel]) -> list[tuple[Channel, Channel]]:
     return [(cycle[i], cycle[(i + 1) % n]) for i in range(n)]
 
 
-def cycles_through_channel(cdg: nx.DiGraph, channel: Channel, *, max_cycles: int = 10_000) -> list[tuple[Channel, ...]]:
-    """Simple cycles that include ``channel``."""
+def cycles_through_channel(
+    cdg: nx.DiGraph, channel: Channel, *, max_cycles: int = 10_000
+) -> CycleEnumeration:
+    """Simple cycles that include ``channel``.
+
+    Returns a :class:`CycleEnumeration` (len/iter-compatible with the old
+    plain list) so a hit of the ``max_cycles`` cap is reported instead of
+    being silently dropped on the filter.
+    """
     enum = find_cycles(cdg, max_cycles=max_cycles)
-    return [c for c in enum.cycles if channel in c]
+    return CycleEnumeration(
+        cycles=[c for c in enum.cycles if channel in c], truncated=enum.truncated
+    )
 
 
 def cycle_summary(cdg: nx.DiGraph, *, max_cycles: int = 10_000) -> dict[str, object]:

@@ -295,6 +295,102 @@ def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+#: task parameters that tune the *analysis*, not the scenario geometry --
+#: dropped when deriving lint targets from a campaign spec so each distinct
+#: construction is linted once
+_ANALYSIS_ONLY_PARAMS = frozenset(
+    {"max_states", "max_delay", "budget", "length_slack", "extra_copies",
+     "copy_depth", "max_cycles", "rate", "cycles", "length", "seed"}
+)
+
+
+def _lint_one(scenario: str, params: dict, *, max_cycles: int):
+    """Build one scenario and lint it (algorithm if exposed, else messages)."""
+    from repro.campaign.scenarios import build_scenario
+    from repro.lint import lint_algorithm, lint_messages
+
+    bundle = build_scenario(scenario, params)
+    ps = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    target = f"{scenario}({ps})" if ps else scenario
+    if bundle.algorithm is not None:
+        return lint_algorithm(bundle.algorithm, name=target, max_cycles=max_cycles)
+    if bundle.messages:
+        return lint_messages(bundle.messages, name=target)
+    raise ValueError(f"scenario {scenario!r} exposes nothing to lint")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign.scenarios import scenario_names
+
+    if bool(args.scenario) == bool(args.all):
+        print("lint: give exactly one of <scenario> or --all", file=sys.stderr)
+        return 2
+
+    targets: list[tuple[str, dict]] = []
+    if args.all:
+        from repro.campaign.specs import build_spec
+
+        seen: set[str] = set()
+        for task in build_spec(args.spec):
+            if task.scenario.startswith("debug-"):
+                continue
+            params = {
+                k: v
+                for k, v in task.params_dict().items()
+                if k not in _ANALYSIS_ONLY_PARAMS
+            }
+            key = _json.dumps([task.scenario, params], sort_keys=True, default=str)
+            if key in seen:
+                continue
+            seen.add(key)
+            targets.append((task.scenario, params))
+    else:
+        if args.scenario not in scenario_names():
+            print(
+                f"lint: unknown scenario {args.scenario!r}; registered: "
+                f"{', '.join(scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            params = _json.loads(args.params)
+        except _json.JSONDecodeError as exc:
+            print(f"lint: --params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("lint: --params must be a JSON object", file=sys.stderr)
+            return 2
+        targets.append((args.scenario, params))
+
+    reports = []
+    exit_code = 0
+    for scenario, params in targets:
+        try:
+            report = _lint_one(scenario, params, max_cycles=args.max_cycles)
+        except Exception as exc:  # noqa: BLE001 - reported, drives exit code
+            print(f"lint {scenario}{params}: build failed: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        exit_code = max(exit_code, report.exit_code)
+
+    if args.json:
+        payload = [r.to_json() for r in reports]
+        print(_json.dumps(payload[0] if not args.all else payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render(verbose=args.verbose))
+        if args.all:
+            decided = sum(1 for r in reports if r.verdict != "undecided")
+            errors = sum(len(r.errors) for r in reports)
+            print(
+                f"\n{len(reports)} targets linted: {decided} certificate-decided, "
+                f"{errors} error-severity finding(s)"
+            )
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -354,6 +450,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="emit Graphviz DOT renderings")
     p.add_argument("what", choices=["fig1-network", "fig1-cdg"])
     p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser(
+        "lint",
+        help="static deadlock linter (rule diagnostics + certificates)",
+        description="Run the static routing linter over one registered "
+        "scenario or every distinct construction of a campaign spec. "
+        "Exit code 0: no error-severity findings; 1: errors found; "
+        "2: usage or build failure.",
+    )
+    p.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (see repro.campaign.scenarios)",
+    )
+    p.add_argument(
+        "--params", default="{}",
+        help='scenario parameters as a JSON object, e.g. \'{"n": 4}\'',
+    )
+    p.add_argument(
+        "--all", action="store_true",
+        help="lint every distinct construction in --spec instead",
+    )
+    p.add_argument(
+        "--spec", default="paper-battery",
+        help="campaign spec to derive --all targets from (default: paper-battery)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--verbose", action="store_true", help="print per-diagnostic evidence"
+    )
+    p.add_argument(
+        "--max-cycles", type=int, default=10_000,
+        help="cap on CDG cycle enumeration (truncation is itself reported)",
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "campaign", help="parallel verification campaigns (run/status/clean)"

@@ -25,7 +25,6 @@ The paper's conclusion sketches two follow-ups:
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass, field
 from collections.abc import Sequence

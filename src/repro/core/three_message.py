@@ -20,7 +20,7 @@ one's entry channel).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.specs import CycleMessageSpec, SharedCycleConstruction, build_shared_cycle
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.analysis.state import CheckerMessage
 from repro.core.specs import SharedCycleConstruction
 from repro.routing.table import TableRouting
 from repro.topology.channels import NodeId

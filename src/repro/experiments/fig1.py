@@ -23,7 +23,7 @@ from repro.analysis import SystemSpec, search_deadlock
 from repro.analysis.delay import min_delay_to_deadlock
 from repro.analysis.schedules import replay_witness
 from repro.analysis.state import CheckerMessage
-from repro.cdg import build_cdg, cycle_summary, find_cycles
+from repro.cdg import build_cdg, cycle_summary
 from repro.core.cyclic_dependency import FIG1_MESSAGES, build_cyclic_dependency_network
 from repro.core.specs import CycleMessageSpec
 from repro.core.theory import analytic_schedule_feasible, earliest_blocking_analysis

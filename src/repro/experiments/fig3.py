@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.analysis import SystemSpec, classify_configuration, search_deadlock
+from repro.analysis import classify_configuration
 from repro.core.conditions import TheoremFiveInput, evaluate_conditions
 from repro.core.specs import CycleMessageSpec, build_shared_cycle
 from repro.core.three_message import FIG3_PANELS, build_three_message_config

@@ -1,0 +1,63 @@
+"""Static deadlock linter for oblivious wormhole routing.
+
+A rule engine over routing algorithms and message specs that turns the
+paper's static arguments into machine-checkable *certificates*:
+
+* acyclic CDG  =>  ``DEADLOCK_FREE``  (Dally--Seitz),
+* structural properties (Corollaries 1-3) or constructive tilings
+  (Theorems 2-4)  =>  ``REACHABLE_DEADLOCK``.
+
+The analysis layer consults these certificates as a pre-pass before
+running the reachability search (gated by ``REPRO_STATIC_CERTIFICATES``);
+``python -m repro lint`` exposes the full rule catalogue on the command
+line.  See ``docs/LINT.md`` for the catalogue with paper citations.
+"""
+
+from repro.lint.certificates import (
+    ENV_VAR,
+    Certificate,
+    CertificateMismatch,
+    algorithm_certificate,
+    certificates_mode,
+    cycle_certificate,
+    spec_certificate,
+    spec_dependency_graph,
+    suffix_tiling_messages,
+)
+from repro.lint.diagnostics import (
+    DEADLOCK_FREE,
+    REACHABLE_DEADLOCK,
+    Diagnostic,
+    LintReport,
+    jsonable,
+)
+from repro.lint.engine import LintContext, lint_algorithm, lint_messages
+from repro.lint.rules import Rule, all_rules, get_rule
+from repro.lint.tiling import Run, Tiling, cycle_runs, enumerate_tilings
+
+__all__ = [
+    "ENV_VAR",
+    "DEADLOCK_FREE",
+    "REACHABLE_DEADLOCK",
+    "Certificate",
+    "CertificateMismatch",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "Run",
+    "Tiling",
+    "algorithm_certificate",
+    "all_rules",
+    "certificates_mode",
+    "cycle_certificate",
+    "cycle_runs",
+    "enumerate_tilings",
+    "get_rule",
+    "jsonable",
+    "lint_algorithm",
+    "lint_messages",
+    "spec_certificate",
+    "spec_dependency_graph",
+    "suffix_tiling_messages",
+]

@@ -1,0 +1,142 @@
+"""Definition-6 cycle tilings over channel-id sequences.
+
+The classifier and the static certificates both need the same combinatorial
+core: given a CDG cycle and the messages whose paths run along it, enumerate
+the ways the messages can *tile* the cycle -- each message holding a
+consecutive segment of cycle channels with its header blocked at the first
+cycle channel of the next message (the paper's Definition 6 deadlock
+configuration).  This module is the single implementation, phrased over
+plain channel ids and generic hashable member keys so it serves both the
+channel-object domain of :mod:`repro.analysis.classify` (members are
+``(source, destination)`` pairs) and the spec-level certificates (members
+are message indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Mapping, Sequence
+
+#: one maximal stretch of a path along the cycle: (cycle start index, length)
+Run = tuple[int, int]
+
+
+@dataclass
+class Tiling:
+    """One Definition-6 candidate: members in cycle order with held segments.
+
+    ``members[i]`` holds cycle channels ``starts[i] .. starts[i]+held_lengths[i]-1``
+    (indices mod the cycle length) and is blocked at cycle index
+    ``starts[(i+1) % len(members)]`` -- the next member's first channel.
+    """
+
+    members: list[Hashable]
+    starts: list[int]
+    held_lengths: list[int]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def cycle_runs(cycle_cids: Sequence[int], path_cids: Sequence[int]) -> list[Run]:
+    """Maximal runs of ``path`` along ``cycle``, as (start index, length).
+
+    A run is a maximal stretch of consecutive path channels that are also
+    consecutive cycle channels in cycle order.
+    """
+    pos = {cid: i for i, cid in enumerate(cycle_cids)}
+    n = len(cycle_cids)
+    runs: list[Run] = []
+    i = 0
+    path = list(path_cids)
+    while i < len(path):
+        cid = path[i]
+        if cid not in pos:
+            i += 1
+            continue
+        start = pos[cid]
+        length = 1
+        while (
+            i + length < len(path)
+            and path[i + length] in pos
+            and pos[path[i + length]] == (start + length) % n
+            and length < n
+        ):
+            length += 1
+        runs.append((start, length))
+        i += length
+    return runs
+
+
+def enumerate_tilings(
+    cycle_length: int,
+    candidates: Mapping[Hashable, Sequence[Run]],
+    *,
+    max_tilings: int = 512,
+) -> list[Tiling]:
+    """All ways to tile a cycle with member segments per Definition 6.
+
+    Each tiling is a cyclic sequence of distinct members: member ``i``
+    holds cycle channels ``[start_i, start_{i+1})`` (in cycle order), where
+    ``start_{i+1}`` lies strictly inside member ``i``'s run -- that is
+    exactly "the first channel message ``m_{i+1}`` uses in the cycle blocks
+    ``m_i``" from the paper's deadlock definition.  Rotations of one tiling
+    are the same configuration, so only the smallest viable origin index is
+    used.
+    """
+    n = cycle_length
+    # run starts -> list of (member, run_length)
+    by_start: dict[int, list[tuple[Hashable, int]]] = {}
+    for member, runs in candidates.items():
+        for start, length in runs:
+            by_start.setdefault(start, []).append((member, length))
+
+    tilings: list[Tiling] = []
+    starts = sorted(by_start)
+    if not starts:
+        return tilings
+
+    def dfs(
+        origin: int,
+        position: int,
+        covered: int,
+        used: list[tuple[Hashable, int, int]],  # (member, start, hold)
+    ) -> None:
+        if len(tilings) >= max_tilings:
+            return
+        for member, run_len in by_start.get(position, ()):  # members entering here
+            if any(m == member for m, _, _ in used):
+                continue
+            # member may hold h in [1, run_len] cycle channels; the next
+            # member's first channel is at position + h, which must lie in
+            # this member's run so the member is actually blockable there --
+            # h <= run_len - 1, unless the tiling closes exactly at the
+            # origin with the origin channel inside the run.
+            for hold in range(1, run_len + 1):
+                nxt = (position + hold) % n
+                new_cov = covered + hold
+                if new_cov > n:
+                    break
+                closes = nxt == origin and new_cov == n
+                if closes:
+                    if hold <= run_len - 1 or run_len == n:
+                        tilings.append(
+                            Tiling(
+                                members=[m for m, _, _ in used] + [member],
+                                starts=[s for _, s, _ in used] + [position],
+                                held_lengths=[h for _, _, h in used] + [hold],
+                            )
+                        )
+                    continue
+                if hold >= run_len:
+                    continue  # successor must start strictly inside the run
+                if nxt in by_start:
+                    used.append((member, position, hold))
+                    dfs(origin, nxt, new_cov, used)
+                    used.pop()
+
+    for origin in starts:
+        dfs(origin, origin, 0, [])
+        if tilings:
+            break
+    return tilings

@@ -50,6 +50,7 @@ from repro.routing.properties import (
     is_coherent,
     is_input_channel_independent,
     never_revisits_nodes,
+    PropertyScan,
     RoutingProperties,
     analyze_properties,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "is_coherent",
     "is_input_channel_independent",
     "never_revisits_nodes",
+    "PropertyScan",
     "RoutingProperties",
     "analyze_properties",
 ]

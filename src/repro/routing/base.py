@@ -26,7 +26,19 @@ from repro.topology.network import Network
 
 
 class RoutingError(RuntimeError):
-    """Raised when a routing function is undefined, inconsistent or divergent."""
+    """Raised when a routing function is undefined, inconsistent or divergent.
+
+    ``kind`` distinguishes the failure classes for structured consumers
+    (the lint rules): ``"undefined"`` (no route for the pair),
+    ``"divergent"`` (exceeded the hop guard), ``"inconsistent"`` (the
+    function emitted a channel that does not chain), ``"revisit"`` (the
+    path revisits a channel and would loop), ``"invalid"`` (malformed
+    request, e.g. source equals destination).
+    """
+
+    def __init__(self, message: str, *, kind: str = "undefined") -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 class _InjectSentinel:
@@ -108,7 +120,9 @@ class RoutingAlgorithm:
         on divergence past ``max_hops``.
         """
         if src == dst:
-            raise RoutingError(f"no path requested from a node to itself ({src!r})")
+            raise RoutingError(
+                f"no path requested from a node to itself ({src!r})", kind="invalid"
+            )
         key = (src, dst)
         cached = self._path_cache.get(key)
         if cached is not None:
@@ -121,17 +135,20 @@ class RoutingAlgorithm:
         while node != dst:
             if len(path) > self.max_hops:
                 raise RoutingError(
-                    f"{self.fn.name()}: path {src!r}->{dst!r} exceeded {self.max_hops} hops"
+                    f"{self.fn.name()}: path {src!r}->{dst!r} exceeded {self.max_hops} hops",
+                    kind="divergent",
                 )
             out = self.fn.route(in_ch, node, dst)
             if out.src != node:
                 raise RoutingError(
-                    f"{self.fn.name()}: routed onto {out!r} whose source is not {node!r}"
+                    f"{self.fn.name()}: routed onto {out!r} whose source is not {node!r}",
+                    kind="inconsistent",
                 )
             if out.cid in seen:
                 raise RoutingError(
                     f"{self.fn.name()}: path {src!r}->{dst!r} revisits channel {out!r}; "
-                    "an oblivious function would loop forever"
+                    "an oblivious function would loop forever",
+                    kind="revisit",
                 )
             seen.add(out.cid)
             path.append(out)

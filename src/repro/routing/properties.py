@@ -20,6 +20,12 @@ paper's figure networks only define routes for the pairs the construction
 uses, so the domain matters.  By default the domain is every pair the
 algorithm defines (``TableRouting.defined_pairs``) or all ordered node pairs
 for full-coverage algorithms.
+
+:class:`PropertyScan` is the engine behind every checker: it resolves each
+domain pair's path exactly once and caches the per-property sweeps, so
+evaluating all properties (``analyze_properties``, the lint rules) walks
+the O(n^2) pair domain once instead of once per checker.  The module-level
+``is_*`` functions are thin wrappers kept for API stability.
 """
 
 from __future__ import annotations
@@ -27,12 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-from repro.routing.base import INJECT, RoutingAlgorithm, RoutingError
+from repro.routing.base import RoutingAlgorithm, RoutingError
 from repro.routing.paths import first_occurrence_prefix, path_nodes, suffix_from
 from repro.routing.table import TableRouting
-from repro.topology.channels import NodeId
+from repro.topology.channels import Channel, NodeId
 
 Pair = tuple[NodeId, NodeId]
+
+#: one closure violation: the offending pair, the intermediate node, and why
+ClosureViolation = tuple[Pair, NodeId, str]
 
 
 def _domain(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None) -> list[Pair]:
@@ -44,29 +53,210 @@ def _domain(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None) -> list[Pair]:
     return [(s, d) for s in nodes for d in nodes if s != d]
 
 
+class PropertyScan:
+    """Memoized property evaluation of one algorithm over one pair domain.
+
+    Construction resolves every domain pair's path once (``paths`` maps a
+    pair to its channel tuple, or ``None`` when the route is undefined or
+    broken).  Each property sweep is computed lazily on first request and
+    cached, and the violation-reporting accessors expose the *evidence*
+    (which pair, which intermediate node, why) that the boolean checkers
+    throw away -- the lint rules are built on these.
+    """
+
+    def __init__(
+        self, alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None
+    ) -> None:
+        self.alg = alg
+        self.domain: list[Pair] = _domain(alg, pairs)
+        self.paths: dict[Pair, tuple[Channel, ...] | None] = {
+            pair: alg.try_path(*pair) for pair in self.domain
+        }
+        self._spl: dict | None = None
+        self._closure: dict[str, list[ClosureViolation]] = {}
+        self._revisits: list[Pair] | None = None
+        self._ici_conflicts: dict[tuple[NodeId, NodeId], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # shared lazies
+    # ------------------------------------------------------------------
+    def _shortest_lengths(self) -> dict:
+        if self._spl is None:
+            self._spl = self.alg.network.shortest_path_lengths()
+        return self._spl
+
+    # ------------------------------------------------------------------
+    # connectivity / minimality
+    # ------------------------------------------------------------------
+    def undefined_pairs(self) -> list[Pair]:
+        """Domain pairs with no defined, terminating path."""
+        return [pair for pair, path in self.paths.items() if path is None]
+
+    def connected(self) -> bool:
+        return not self.undefined_pairs()
+
+    def minimality_slack(self) -> dict[Pair, int]:
+        """Per-pair excess hops over the shortest path (0 everywhere iff minimal).
+
+        Raises :class:`RoutingError` on an undefined route, matching the
+        strict :meth:`RoutingAlgorithm.path` contract.
+        """
+        spl = self._shortest_lengths()
+        out: dict[Pair, int] = {}
+        for (s, d), path in self.paths.items():
+            if path is None:
+                self.alg.path(s, d)  # raises with the informative message
+                raise RoutingError(f"no path {s!r}->{d!r}")  # pragma: no cover
+            out[(s, d)] = len(path) - spl[s][d]
+        return out
+
+    def minimal(self) -> bool:
+        spl = self._shortest_lengths()
+        return all(
+            path is not None and len(path) == spl[s][d]
+            for (s, d), path in self.paths.items()
+        )
+
+    # ------------------------------------------------------------------
+    # closure (Definitions 7/8)
+    # ------------------------------------------------------------------
+    def closure_violations(self, kind: str) -> list[ClosureViolation]:
+        """Definition 7 (``kind="prefix"``) / 8 (``kind="suffix"``) violations.
+
+        Returns ``((s, d), w, reason)`` triples.  An intermediate pair whose
+        route is undefined counts as a violation: the definitions require
+        the algorithm to *specify* the partial path.
+        """
+        if kind not in ("prefix", "suffix"):
+            raise ValueError(f"closure kind must be 'prefix' or 'suffix', got {kind!r}")
+        cached = self._closure.get(kind)
+        if cached is not None:
+            return cached
+        violations: list[ClosureViolation] = []
+        for (s, d), path in self.paths.items():
+            if path is None:
+                violations.append(((s, d), s, "pair undefined"))
+                continue
+            nodes = path_nodes(path)
+            # intermediate nodes, first occurrences only, excluding endpoints
+            seen: set[NodeId] = {s}
+            for w in nodes[1:-1]:
+                if w in seen:
+                    continue
+                seen.add(w)
+                if kind == "prefix":
+                    expected = first_occurrence_prefix(path, w)
+                    actual = self.alg.try_path(s, w)
+                else:
+                    expected = suffix_from(path, w)
+                    actual = self.alg.try_path(w, d)
+                if actual is None:
+                    violations.append(((s, d), w, "partial path undefined"))
+                elif tuple(actual) != tuple(expected):
+                    violations.append(((s, d), w, "partial path differs"))
+        self._closure[kind] = violations
+        return violations
+
+    def prefix_closed(self) -> bool:
+        return not self.closure_violations("prefix")
+
+    def suffix_closed(self) -> bool:
+        return not self.closure_violations("suffix")
+
+    # ------------------------------------------------------------------
+    # node revisits / coherence (Definition 9)
+    # ------------------------------------------------------------------
+    def node_revisit_violations(self) -> list[Pair]:
+        """Pairs whose path visits a node twice (or is undefined)."""
+        if self._revisits is None:
+            bad: list[Pair] = []
+            for pair, path in self.paths.items():
+                if path is None:
+                    bad.append(pair)
+                    continue
+                nodes = path_nodes(path)
+                if len(set(nodes)) != len(nodes):
+                    bad.append(pair)
+            self._revisits = bad
+        return self._revisits
+
+    def never_revisits_nodes(self) -> bool:
+        return not self.node_revisit_violations()
+
+    def coherent(self) -> bool:
+        """Definition 9: prefix-closed, suffix-closed, never revisits a node."""
+        return self.never_revisits_nodes() and self.prefix_closed() and self.suffix_closed()
+
+    # ------------------------------------------------------------------
+    # input-channel independence (Corollary 1 hypothesis)
+    # ------------------------------------------------------------------
+    def ici_conflicts(self) -> dict[tuple[NodeId, NodeId], list[int]]:
+        """``(node, dest) -> observed output cids`` entries with >1 output.
+
+        Empty iff the function behaves as ``R: N x N -> C`` over the domain.
+        Checked empirically: for every node ``n`` and destination ``d``
+        reached through ``n`` on some defined path, all input channels that
+        actually occur (including injection when ``(n, d)`` is itself
+        defined) must yield the same output channel.  This verifies the
+        Corollary 1 hypothesis instead of trusting a subclass flag.
+        """
+        if self._ici_conflicts is None:
+            observed: dict[tuple[NodeId, NodeId], set[int]] = {}
+            defined = set(self.domain)
+            for (s, d), path in self.paths.items():
+                if path is None:
+                    continue
+                observed.setdefault((s, d), set()).add(path[0].cid)
+                for a, b in zip(path, path[1:]):
+                    observed.setdefault((a.dst, d), set()).add(b.cid)
+            # injection at intermediate nodes: if (w, d) is defined, its
+            # first hop must agree with the through-traffic hop at w toward d
+            for (w, d), outs in observed.items():
+                if (w, d) in defined:
+                    p = self.paths.get((w, d), None) or self.alg.try_path(w, d)
+                    if p is not None:
+                        outs.add(p[0].cid)
+            self._ici_conflicts = {
+                key: sorted(outs) for key, outs in observed.items() if len(outs) > 1
+            }
+        return self._ici_conflicts
+
+    def input_channel_independent(self) -> bool:
+        return not self.ici_conflicts()
+
+    # ------------------------------------------------------------------
+    # the bundle
+    # ------------------------------------------------------------------
+    def properties(self) -> "RoutingProperties":
+        return RoutingProperties(
+            name=self.alg.fn.name(),
+            connected=self.connected(),
+            minimal=self.minimal(),
+            prefix_closed=self.prefix_closed(),
+            suffix_closed=self.suffix_closed(),
+            coherent=self.coherent(),
+            input_channel_independent=self.input_channel_independent(),
+            node_revisit_free=self.never_revisits_nodes(),
+            domain_size=len(self.domain),
+        )
+
+
+# ----------------------------------------------------------------------
+# stable function API (thin wrappers over PropertyScan)
+# ----------------------------------------------------------------------
 def is_connected(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """True iff every pair in the domain has a defined, terminating path."""
-    return all(alg.try_path(s, d) is not None for s, d in _domain(alg, pairs))
+    return PropertyScan(alg, pairs).connected()
 
 
 def is_minimal(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """True iff every defined path is a shortest path in the network."""
-    spl = alg.network.shortest_path_lengths()
-    for s, d in _domain(alg, pairs):
-        path = alg.try_path(s, d)
-        if path is None or len(path) != spl[s][d]:
-            return False
-    return True
+    return PropertyScan(alg, pairs).minimal()
 
 
 def minimality_slack(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> dict[Pair, int]:
     """Per-pair excess hops over the shortest path (0 everywhere iff minimal)."""
-    spl = alg.network.shortest_path_lengths()
-    out: dict[Pair, int] = {}
-    for s, d in _domain(alg, pairs):
-        path = alg.path(s, d)
-        out[(s, d)] = len(path) - spl[s][d]
-    return out
+    return PropertyScan(alg, pairs).minimality_slack()
 
 
 def _closure_violations(
@@ -74,101 +264,36 @@ def _closure_violations(
     pairs: Sequence[Pair] | None,
     *,
     kind: str,
-) -> list[tuple[Pair, NodeId, str]]:
-    """Shared engine for prefix/suffix closure.
-
-    Returns a list of ``((s, d), w, reason)`` violations.  An intermediate
-    pair whose route is undefined counts as a violation: Definitions 7/8
-    require the algorithm to *specify* the partial path.
-    """
-    violations: list[tuple[Pair, NodeId, str]] = []
-    for s, d in _domain(alg, pairs):
-        path = alg.try_path(s, d)
-        if path is None:
-            violations.append(((s, d), s, "pair undefined"))
-            continue
-        nodes = path_nodes(path)
-        # intermediate nodes, first occurrences only, excluding endpoints
-        seen: set[NodeId] = {s}
-        for w in nodes[1:-1]:
-            if w in seen:
-                continue
-            seen.add(w)
-            if kind == "prefix":
-                expected = first_occurrence_prefix(path, w)
-                actual = alg.try_path(s, w)
-            else:
-                expected = suffix_from(path, w)
-                actual = alg.try_path(w, d)
-            if actual is None:
-                violations.append(((s, d), w, "partial path undefined"))
-            elif tuple(actual) != tuple(expected):
-                violations.append(((s, d), w, "partial path differs"))
-    return violations
+) -> list[ClosureViolation]:
+    """Shared engine for prefix/suffix closure (see ``PropertyScan``)."""
+    return PropertyScan(alg, pairs).closure_violations(kind)
 
 
 def is_prefix_closed(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """Definition 7."""
-    return not _closure_violations(alg, pairs, kind="prefix")
+    return PropertyScan(alg, pairs).prefix_closed()
 
 
 def is_suffix_closed(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """Definition 8."""
-    return not _closure_violations(alg, pairs, kind="suffix")
+    return PropertyScan(alg, pairs).suffix_closed()
 
 
 def never_revisits_nodes(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """True iff no defined path visits any node twice."""
-    for s, d in _domain(alg, pairs):
-        path = alg.try_path(s, d)
-        if path is None:
-            return False
-        nodes = path_nodes(path)
-        if len(set(nodes)) != len(nodes):
-            return False
-    return True
+    return PropertyScan(alg, pairs).never_revisits_nodes()
 
 
 def is_coherent(alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None) -> bool:
     """Definition 9: prefix-closed, suffix-closed, never revisits a node."""
-    return (
-        never_revisits_nodes(alg, pairs)
-        and is_prefix_closed(alg, pairs)
-        and is_suffix_closed(alg, pairs)
-    )
+    return PropertyScan(alg, pairs).coherent()
 
 
 def is_input_channel_independent(
     alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None
 ) -> bool:
-    """True iff the function behaves as ``R: N x N -> C`` over the domain.
-
-    Checked empirically: for every node ``n`` and destination ``d`` reached
-    through ``n`` on some defined path, all input channels that actually
-    occur (including injection when ``(n, d)`` is itself defined) must yield
-    the same output channel.  This verifies the Corollary 1 hypothesis
-    instead of trusting a subclass flag.
-    """
-    # (node, dest) -> set of output channel ids observed
-    observed: dict[tuple[NodeId, NodeId], set[int]] = {}
-    domain = _domain(alg, pairs)
-    defined = set(domain)
-    for s, d in domain:
-        path = alg.try_path(s, d)
-        if path is None:
-            continue
-        first = path[0]
-        observed.setdefault((s, d), set()).add(first.cid)
-        for a, b in zip(path, path[1:]):
-            observed.setdefault((a.dst, d), set()).add(b.cid)
-    # injection at intermediate nodes: if (w, d) is defined, its first hop
-    # must agree with the through-traffic hop at w toward d.
-    for (w, d), outs in list(observed.items()):
-        if (w, d) in defined:
-            p = alg.try_path(w, d)
-            if p is not None:
-                outs.add(p[0].cid)
-    return all(len(outs) <= 1 for outs in observed.values())
+    """True iff the function behaves as ``R: N x N -> C`` over the domain."""
+    return PropertyScan(alg, pairs).input_channel_independent()
 
 
 @dataclass
@@ -201,16 +326,5 @@ class RoutingProperties:
 def analyze_properties(
     alg: RoutingAlgorithm, pairs: Sequence[Pair] | None = None
 ) -> RoutingProperties:
-    """Evaluate every property checker and return the bundle."""
-    domain = _domain(alg, pairs)
-    return RoutingProperties(
-        name=alg.fn.name(),
-        connected=is_connected(alg, domain),
-        minimal=is_minimal(alg, domain),
-        prefix_closed=is_prefix_closed(alg, domain),
-        suffix_closed=is_suffix_closed(alg, domain),
-        coherent=is_coherent(alg, domain),
-        input_channel_independent=is_input_channel_independent(alg, domain),
-        node_revisit_free=never_revisits_nodes(alg, domain),
-        domain_size=len(domain),
-    )
+    """Evaluate every property checker over a single shared path scan."""
+    return PropertyScan(alg, pairs).properties()

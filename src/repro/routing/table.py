@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.routing.base import INJECT, RoutingError, RoutingFunction, _InjectSentinel
+from repro.routing.base import RoutingError, RoutingFunction, _InjectSentinel
 from repro.routing.paths import validate_path
 from repro.topology.channels import Channel, NodeId
 from repro.topology.network import Network

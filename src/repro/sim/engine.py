@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable
 
 from repro.routing.base import INJECT, RoutingError, RoutingFunction
 from repro.sim.arbitration import ArbitrationPolicy, FifoArbitration

@@ -18,7 +18,7 @@ assuming it away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.sim.engine import SimResult

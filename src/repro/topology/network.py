@@ -13,7 +13,7 @@ algorithmic layer before micro-optimizing).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterator
 
 import networkx as nx
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.analysis.reachability import Witness
-from repro.topology.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator

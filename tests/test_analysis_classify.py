@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.classify import (
-    CycleTiling,
     _cycle_runs,
     classify_configuration,
     classify_cycle,

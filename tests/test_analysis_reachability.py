@@ -55,9 +55,12 @@ class TestSearch:
         assert spec.deadlocked_set(cur)
 
     def test_state_cap_raises(self):
+        # certificates off: these disjoint-path messages are statically
+        # deadlock-free, and a decided verdict would skip the BFS (and its
+        # cap) entirely -- this test exercises the cap machinery itself
         msgs = [msg([i * 10 + j for j in range(5)], 3, f"m{i}") for i in range(3)]
         with pytest.raises(SearchLimitExceeded):
-            search_deadlock(SystemSpec.uniform(msgs), max_states=5)
+            search_deadlock(SystemSpec.uniform(msgs), max_states=5, certificates="off")
 
     def test_budget_monotonicity(self):
         """More stall budget can only help the adversary."""

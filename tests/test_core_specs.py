@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.specs import CycleMessageSpec, build_shared_cycle
-from repro.routing.paths import path_nodes
 
 
 def test_spec_validation():

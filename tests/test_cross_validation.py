@@ -18,7 +18,7 @@ from repro.core.generalized import build_generalized
 from repro.core.two_message import build_two_message_config
 from repro.core.within_cycle import theorem2_default
 from repro.routing import RoutingAlgorithm, clockwise_ring
-from repro.sim import MessageSpec, SimConfig, Simulator
+from repro.sim import MessageSpec, Simulator
 from repro.topology import ring
 
 

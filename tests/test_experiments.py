@@ -1,6 +1,5 @@
 """Experiment driver integration tests (fast configurations)."""
 
-import pytest
 
 from repro.experiments import render_kv, render_table
 from repro.experiments.fig2 import run_fig2_experiment

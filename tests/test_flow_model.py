@@ -1,6 +1,5 @@
 """Lin-McKinley-Ni flow model tests (Section 2's sufficiency-only technique)."""
 
-import pytest
 
 from repro.cdg.flow_model import certification_gap, deadlock_immune_channels
 from repro.core.cyclic_dependency import build_cyclic_dependency_network

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.multi_message import (
     predicted_unreachable,
-    run_split_shared_experiment,
     split_shared_fig1,
 )
 from repro.core.specs import CycleMessageSpec, build_shared_cycle

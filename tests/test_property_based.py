@@ -10,7 +10,6 @@ from repro.core.theory import analytic_schedule_feasible
 from repro.routing import RoutingAlgorithm, clockwise_ring, dimension_order_mesh
 from repro.routing.paths import path_is_contiguous, path_nodes
 from repro.sim import MessageSpec, SimConfig, Simulator
-from repro.sim.message import MessageStatus
 from repro.topology import mesh, ring
 
 # module-level strategies ----------------------------------------------------

@@ -1,6 +1,5 @@
 """Chien router cost model tests (the intro's complexity claim, measured)."""
 
-import pytest
 
 from repro.core.cyclic_dependency import build_cyclic_dependency_network
 from repro.sim.router_cost import RouterCostModel, network_cost, router_cost

@@ -128,3 +128,55 @@ def test_connected_false_for_partial_table(detour_net):
     assert not is_connected(alg, pairs)
     # over its own domain it is
     assert is_connected(alg)
+
+
+def _count_try_path(alg, run):
+    """Number of try_path calls ``run(alg)`` makes, with a cold path cache."""
+    alg.clear_cache()
+    calls = 0
+    original = alg.try_path
+
+    def counting(src, dst):
+        nonlocal calls
+        calls += 1
+        return original(src, dst)
+
+    alg.try_path = counting
+    try:
+        run(alg)
+    finally:
+        del alg.try_path
+    return calls
+
+
+def test_analyze_properties_shares_one_scan():
+    """One PropertyScan serves every checker: no per-property recomputation."""
+    from repro.routing.properties import PropertyScan
+
+    net = mesh((3, 3))
+
+    def fresh():
+        return RoutingAlgorithm(dimension_order_mesh(net, 2))
+
+    combined = _count_try_path(fresh(), analyze_properties)
+
+    def separate(alg):
+        for check in (
+            is_connected,
+            is_minimal,
+            is_prefix_closed,
+            is_suffix_closed,
+            is_coherent,
+            is_input_channel_independent,
+        ):
+            check(alg)
+
+    separately = _count_try_path(fresh(), separate)
+    assert combined < separately
+
+    # and repeated property reads on one scan never touch the algorithm again
+    alg = fresh()
+    scan = PropertyScan(alg)
+    scan.properties()
+    repeat = _count_try_path(alg, lambda a: (scan.properties(), scan.properties()))
+    assert repeat == 0

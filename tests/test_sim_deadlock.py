@@ -1,6 +1,5 @@
 """Deadlock detection tests."""
 
-import pytest
 
 from repro.routing import clockwise_ring
 from repro.sim import MessageSpec, SimConfig, Simulator, build_wait_for_graph, detect_deadlock

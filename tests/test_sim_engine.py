@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.routing import RoutingAlgorithm, clockwise_ring, dimension_order_mesh
+from repro.routing import clockwise_ring, dimension_order_mesh
 from repro.sim import MessageSpec, MessageStatus, SimConfig, Simulator
 from repro.sim.trace import TraceRecorder
 from repro.topology import mesh, ring

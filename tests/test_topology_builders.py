@@ -1,6 +1,5 @@
 """Topology builder tests."""
 
-import itertools
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Channel model unit tests."""
 
-import pytest
 
 from repro.topology import Network
 from repro.topology.channels import Channel

@@ -1,6 +1,5 @@
 """ASCII chart and channel-utilization stats tests."""
 
-import pytest
 
 from repro.routing import clockwise_ring
 from repro.sim import MessageSpec, SimConfig, Simulator
