@@ -35,6 +35,7 @@ from collections.abc import Sequence
 
 from repro.analysis.reachability import SearchResult, search_deadlock
 from repro.analysis.state import CheckerMessage, SystemSpec
+from repro.obs import get as _obs_get
 from repro.routing.base import RoutingAlgorithm
 from repro.topology.channels import Channel, NodeId
 
@@ -65,6 +66,45 @@ def classify_configuration(
 
     Returns ``(deadlock_reachable, result_of_first_deadlocking_scenario_or_last)``.
     """
+    tel = _obs_get()
+    if tel is None:
+        return _classify_configuration_impl(
+            messages,
+            budget=budget,
+            copy_depth=copy_depth,
+            max_copies_total=max_copies_total,
+            length_slack=length_slack,
+            max_states=max_states,
+            search_jobs=search_jobs,
+        )
+    with tel.span("classify.config", messages=len(messages)) as sp:
+        reachable, result = _classify_configuration_impl(
+            messages,
+            budget=budget,
+            copy_depth=copy_depth,
+            max_copies_total=max_copies_total,
+            length_slack=length_slack,
+            max_states=max_states,
+            search_jobs=search_jobs,
+        )
+        sp.set(
+            verdict="reachable" if reachable else "deadlock-free",
+            certificate=result.certificate,
+        )
+        tel.incr("classify.configs")
+    return reachable, result
+
+
+def _classify_configuration_impl(
+    messages: Sequence["CheckerMessage"],
+    *,
+    budget: int,
+    copy_depth: int,
+    max_copies_total: int,
+    length_slack: int,
+    max_states: int,
+    search_jobs: int,
+) -> tuple[bool, SearchResult]:
     from repro.analysis.state import CheckerMessage as _CM
 
     base = list(messages)
@@ -219,6 +259,60 @@ def classify_cycle(
     There is no static deadlock-free verdict at cycle level, so "cycle is a
     false resource cycle" always comes from the search.
     """
+    tel = _obs_get()
+    if tel is None:
+        return _classify_cycle_impl(
+            alg,
+            cycle,
+            pairs=pairs,
+            length_slack=length_slack,
+            extra_copies=extra_copies,
+            budget=budget,
+            max_states=max_states,
+            max_scenarios=max_scenarios,
+            search_jobs=search_jobs,
+            certificates=certificates,
+        )
+    with tel.span("classify.cycle", channels=len(cycle)) as sp:
+        result = _classify_cycle_impl(
+            alg,
+            cycle,
+            pairs=pairs,
+            length_slack=length_slack,
+            extra_copies=extra_copies,
+            budget=budget,
+            max_states=max_states,
+            max_scenarios=max_scenarios,
+            search_jobs=search_jobs,
+            certificates=certificates,
+        )
+        sp.set(
+            verdict="reachable" if result.deadlock_reachable else "false-cycle",
+            tilings_tested=result.tilings_tested,
+            scenarios_tested=result.scenarios_tested,
+            certificate=result.certificate,
+        )
+        tel.incr("classify.cycles")
+        tel.incr("classify.scenarios", result.scenarios_tested)
+        if result.certificate is not None and result.scenarios_tested == 0:
+            tel.incr("classify.certificate_short_circuits")
+            tel.event("classify.certificate_fastpath", code=result.certificate)
+    return result
+
+
+def _classify_cycle_impl(
+    alg: RoutingAlgorithm,
+    cycle: Sequence[Channel],
+    *,
+    pairs: Sequence[Pair] | None,
+    length_slack: int,
+    extra_copies: int,
+    budget: int,
+    max_states: int,
+    max_scenarios: int,
+    search_jobs: int,
+    certificates: str | None,
+) -> CycleClassification:
     from repro.lint.certificates import (
         CertificateMismatch,
         certificates_mode,

@@ -73,6 +73,27 @@ DEFAULT_DEAD_MEMO_LIMIT = 1 << 20
 _ENGINE_CACHE_LIMIT = 64
 _ENGINES: dict[SystemSpec, "FastEngine"] = {}
 
+#: cumulative cache-effectiveness counters, read by the telemetry layer
+#: (repro.obs) via snapshot deltas around a search.  Incremented only on
+#: call-boundary paths -- engine_for, expand, successors_full -- never
+#: inside the fused _emissions/search loop, so the benchmarked hot path
+#: is untouched whether telemetry is on or off.
+COUNTERS: dict[str, int] = {
+    "fastpath.engine_cache.hits": 0,
+    "fastpath.engine_cache.misses": 0,
+    "fastpath.smemo.hits": 0,
+    "fastpath.smemo.misses": 0,
+    "fastpath.memo.hits": 0,
+    "fastpath.memo.misses": 0,
+    "fastpath.expand.emitted": 0,
+    "fastpath.expand.unique": 0,
+}
+
+
+def counters_snapshot() -> dict[str, int]:
+    """A copy of :data:`COUNTERS` (diff two to meter one search)."""
+    return dict(COUNTERS)
+
 # interned action labels; options are compared by identity against these
 _TRY, _WAIT, _ADV, _STALL, _DRAIN = "try", "wait", "adv", "stall", "drain"
 
@@ -88,10 +109,13 @@ def engine_for(spec: SystemSpec) -> "FastEngine":
     """The (cached) fast engine for ``spec``."""
     eng = _ENGINES.get(spec)
     if eng is None:
+        COUNTERS["fastpath.engine_cache.misses"] += 1
         if len(_ENGINES) >= _ENGINE_CACHE_LIMIT:
             _ENGINES.clear()
         eng = FastEngine(spec)
         _ENGINES[spec] = eng
+    else:
+        COUNTERS["fastpath.engine_cache.hits"] += 1
     return eng
 
 
@@ -169,6 +193,8 @@ class FastEngine:
         self._smemo: dict[tuple, list] = {}
         self._dead_memo_limit = dead_memo_limit
         self._dead_memo: dict[tuple, tuple[int, ...]] = {}
+        #: BFS levels of the most recent :meth:`search` (telemetry only)
+        self.last_search_depth: int | None = None
 
     # ------------------------------------------------------------------
     # table construction
@@ -465,13 +491,19 @@ class FastEngine:
         """
         cached = self._smemo.get(root)
         if cached is not None:
+            COUNTERS["fastpath.smemo.hits"] += 1
             return cached
+        COUNTERS["fastpath.smemo.misses"] += 1
         results: list[tuple[tuple, tuple[int, ...]]] = []
         seen: set[tuple] = set()
+        emitted = 0
         for st, dead in self._emissions(root):
+            emitted += 1
             if st not in seen:
                 seen.add(st)
                 results.append((st, dead))
+        COUNTERS["fastpath.expand.emitted"] += emitted
+        COUNTERS["fastpath.expand.unique"] += len(results)
         if len(self._smemo) < self._memo_limit:
             self._smemo[root] = results
         return results
@@ -805,18 +837,28 @@ class FastEngine:
         popleft = queue.popleft
         push = queue.append
         count = 1
+        # level-structured loop: identical FIFO pop order (states are
+        # popped and pushed exactly as before; the inner range only
+        # partitions the deque into BFS levels), so verdicts and counts
+        # stay bit-identical while the frontier depth becomes observable
+        # through ``last_search_depth`` at near-zero cost per state.
+        depth = 0
         while queue:
-            state, mask = popleft()
-            for nxt, dead, nmask in emissions(state, visited, canon, mask):
-                count += 1
-                if count > max_states:
-                    raise SearchLimitExceeded(
-                        f"exceeded {max_states} states; tighten the "
-                        "scenario or raise the cap"
-                    )
-                if dead:
-                    return True, count
-                push((nxt, nmask))
+            for _ in range(len(queue)):
+                state, mask = popleft()
+                for nxt, dead, nmask in emissions(state, visited, canon, mask):
+                    count += 1
+                    if count > max_states:
+                        raise SearchLimitExceeded(
+                            f"exceeded {max_states} states; tighten the "
+                            "scenario or raise the cap"
+                        )
+                    if dead:
+                        self.last_search_depth = depth + 1
+                        return True, count
+                    push((nxt, nmask))
+            depth += 1
+        self.last_search_depth = depth
         return False, count
 
     def search_witness(
@@ -909,7 +951,9 @@ class FastEngine:
         memo = self._memo
         cached = memo.get(state)
         if cached is not None:
+            COUNTERS["fastpath.memo.hits"] += 1
             return cached
+        COUNTERS["fastpath.memo.misses"] += 1
 
         n = self._n
         recs = self._recs

@@ -10,6 +10,7 @@ bounded); a configurable state cap turns pathological blow-ups into loud
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -19,6 +20,8 @@ from repro.analysis.state import SystemSpec, SystemState
 # cost lands at import time, outside any timed search; fastpath itself
 # imports this module's SearchLimitExceeded lazily, so there is no cycle
 from repro.analysis.fastpath import engine_for as _engine_for
+from repro.analysis.fastpath import counters_snapshot as _counters_snapshot
+from repro.obs import get as _obs_get
 
 
 class SearchLimitExceeded(RuntimeError):
@@ -182,6 +185,80 @@ def search_deadlock(
     BFS order means a returned witness has the minimum number of cycles
     over all deadlock formations -- handy for reports and replay tests.
     """
+    tel = _obs_get()
+    if tel is None:
+        # telemetry disabled (the default): straight to the search with
+        # zero additional work beyond the one env lookup in obs.get()
+        return _search_deadlock_impl(
+            spec,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+            engine=engine,
+            jobs=jobs,
+            certificates=certificates,
+        )
+
+    resolved = engine or os.environ.get("REPRO_SEARCH_ENGINE", "fast")
+    before = _counters_snapshot()
+    with tel.span(
+        "search.deadlock",
+        engine=resolved,
+        jobs=jobs,
+        find_witness=find_witness,
+        messages=len(spec.messages),
+    ) as sp:
+        t0 = time.perf_counter()
+        result = _search_deadlock_impl(
+            spec,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+            engine=engine,
+            jobs=jobs,
+            certificates=certificates,
+        )
+        dur = time.perf_counter() - t0
+        after = _counters_snapshot()  # before telemetry's own engine_for below
+        sp.set(
+            verdict="reachable" if result.deadlock_reachable else "deadlock-free",
+            states_explored=result.states_explored,
+            certificate=result.certificate,
+        )
+        if dur > 0 and result.states_explored:
+            sp.set(states_per_sec=round(result.states_explored / dur, 1))
+        if result.witness is not None:
+            sp.set(frontier_depth=result.witness.num_cycles)
+        elif resolved == "fast" and jobs <= 1 and result.states_explored:
+            depth = _engine_for(spec).last_search_depth
+            if depth is not None:
+                sp.set(frontier_depth=depth)
+        tel.incr("search.calls")
+        tel.incr("search.states_explored", result.states_explored)
+        if result.certificate is not None and result.states_explored == 0:
+            tel.incr("search.certificate_short_circuits")
+            tel.event(
+                "search.certificate_fastpath",
+                code=result.certificate,
+                deadlock_reachable=result.deadlock_reachable,
+            )
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                tel.incr(name, delta)
+    return result
+
+
+def _search_deadlock_impl(
+    spec: SystemSpec,
+    *,
+    max_states: int,
+    find_witness: bool,
+    symmetry_reduction: bool | None,
+    engine: str | None,
+    jobs: int,
+    certificates: str | None,
+) -> SearchResult:
     if symmetry_reduction is None:
         symmetry_reduction = not find_witness
     if engine is None:

@@ -161,6 +161,51 @@ def run_campaign(
     spec_name: str = "",
 ) -> tuple[list[TaskResult], CampaignSummary]:
     """Execute a batch of tasks; returns (results in task order, summary)."""
+    from repro.obs import get as _obs_get
+
+    tel = _obs_get()
+    if tel is None:
+        return _run_campaign_impl(
+            tasks,
+            cache=cache,
+            ledger=ledger,
+            progress=progress,
+            config=config,
+            spec_name=spec_name,
+            tel=None,
+        )
+    with tel.span("campaign.run", spec=spec_name) as sp:
+        results, summary = _run_campaign_impl(
+            tasks,
+            cache=cache,
+            ledger=ledger,
+            progress=progress,
+            config=config,
+            spec_name=spec_name,
+            tel=tel,
+        )
+        sp.set(
+            tasks=summary.total,
+            ok=summary.ok,
+            failed=summary.failed,
+            from_cache=summary.from_cache,
+            workers=summary.workers,
+        )
+        if summary.cache is not None:
+            sp.set(cache_hit_rate=round(summary.cache.hit_rate, 4))
+    return results, summary
+
+
+def _run_campaign_impl(
+    tasks: Iterable[CampaignTask],
+    *,
+    cache: ResultCache | None,
+    ledger: RunLedger | None,
+    progress: ProgressReporter | None,
+    config: RunnerConfig | None,
+    spec_name: str,
+    tel,
+) -> tuple[list[TaskResult], CampaignSummary]:
     config = config or RunnerConfig()
     t0 = time.perf_counter()
 
@@ -177,6 +222,33 @@ def run_campaign(
     def finalize(task: CampaignTask, result: TaskResult) -> None:
         by_hash[task.task_hash] = result
         summary.add(result)
+        if tel is not None:
+            # one span per task, emitted by the coordinating process so
+            # cache hits, serial runs and pool workers all look alike;
+            # the duration is the task's own measured wall time
+            tel.point_span(
+                "campaign.task",
+                result.wall_time,
+                task_hash=result.task_hash,
+                name=result.name,
+                kind=result.kind,
+                scenario=result.scenario,
+                verdict=result.verdict,
+                ok=result.ok,
+                source=result.source,
+                states_explored=result.detail.get("states_explored"),
+                certificate=result.detail.get("certificate"),
+            )
+            tel.incr("campaign.tasks")
+            if not result.ok:
+                tel.incr("campaign.tasks.failed")
+            # exactly one cache lookup happens per unique task, so these
+            # two counters reproduce CacheStats.hit_rate from events alone
+            if cache is not None:
+                if result.source == "cache":
+                    tel.incr("campaign.cache.hits")
+                else:
+                    tel.incr("campaign.cache.misses")
         if ledger is not None:
             ledger.record(result)
         if progress is not None:

@@ -41,10 +41,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: bump when the result payload or task semantics change; salts the cache key
-#: (v3: static-certificate pre-pass -- certificate-decided reachability and
-#: classify tasks report ``states_explored``/``scenarios_tested`` of 0 and a
-#: ``certificate`` detail; new ``lint`` kind)
-SCHEMA_VERSION = 3
+#: (v4: optional per-task ``telemetry`` summary embedded in results when
+#: ``REPRO_TELEMETRY`` is on; v3: static-certificate pre-pass --
+#: certificate-decided reachability and classify tasks report
+#: ``states_explored``/``scenarios_tested`` of 0 and a ``certificate``
+#: detail; new ``lint`` kind)
+SCHEMA_VERSION = 4
 
 ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg", "lint")
 
@@ -194,6 +196,9 @@ class TaskResult:
     source: str = "live"  # "live" | "cache"
     attempts: int = 1
     expect: str | None = None
+    #: per-task telemetry summary (counter/span deltas accumulated while
+    #: the task ran); ``None`` unless ``REPRO_TELEMETRY`` was on
+    telemetry: dict[str, Any] | None = None
 
     @property
     def expect_matches(self) -> bool | None:
@@ -218,6 +223,7 @@ class TaskResult:
             "source": self.source,
             "attempts": self.attempts,
             "expect": self.expect,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -237,6 +243,7 @@ class TaskResult:
             source=data.get("source", "live"),
             attempts=data.get("attempts", 1),
             expect=data.get("expect"),
+            telemetry=data.get("telemetry"),
         )
 
 
@@ -410,6 +417,15 @@ def execute_task(
     results stay valid whatever parallelism produced them.
     """
     from repro.campaign.scenarios import build_scenario
+    from repro.obs import get as _obs_get
+
+    # per-task telemetry summary: registry deltas around the task body.
+    # Works identically in-process (deltas against the shared collector)
+    # and in pool workers (REPRO_TELEMETRY is inherited via the
+    # environment; the worker's sink-less collector just aggregates and
+    # the summary rides back inside the picklable result).
+    tel = _obs_get()
+    mark = tel.mark() if tel is not None else None
 
     p = task.params_dict()
     t0 = time.perf_counter()
@@ -417,7 +433,7 @@ def execute_task(
         bundle = build_scenario(task.scenario, p)
         verdict, detail = _KIND_RUNNERS[task.kind](bundle, p, search_jobs)
         detail.update(bundle.detail)
-        return TaskResult(
+        result = TaskResult(
             task_hash=task.task_hash,
             name=task.name,
             kind=task.kind,
@@ -431,7 +447,7 @@ def execute_task(
             expect=task.expect,
         )
     except Exception as exc:  # noqa: BLE001 - captured into the result
-        return TaskResult(
+        result = TaskResult(
             task_hash=task.task_hash,
             name=task.name,
             kind=task.kind,
@@ -444,3 +460,6 @@ def execute_task(
             worker=worker,
             expect=task.expect,
         )
+    if tel is not None and mark is not None:
+        result.telemetry = tel.since(mark)
+    return result

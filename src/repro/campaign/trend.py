@@ -1,4 +1,4 @@
-"""Per-task wall-time trending between two campaign run ledgers.
+"""Per-task wall-time and work trending between two campaign run ledgers.
 
 A campaign ledger accumulates one ``result`` line per task execution, so
 two ledgers (or one ledger before/after an optimisation) give a paired
@@ -11,6 +11,13 @@ than ``threshold``x -- the guard the CI benchmark-smoke job and
 Tiny tasks are pure scheduling noise, so a task only counts as a
 regression when its new wall time also exceeds ``min_seconds``.
 Improvements beyond the same ratio are reported (but never fail a run).
+
+Alongside wall time, the join also diffs ``states_explored`` (the search
+work recorded in each result's ``detail``): state counts are exactly
+reproducible, so a task whose search suddenly explores more states is an
+*algorithmic* regression -- visible even when wall-clock noise hides it,
+and immune to the ``min_seconds`` noise floor.  Any growth in states
+beyond ``states_threshold`` fails the trend.
 """
 
 from __future__ import annotations
@@ -23,6 +30,14 @@ from repro.campaign.ledger import read_ledger
 from repro.campaign.tasks import TaskResult
 
 
+def _states_of(res: TaskResult) -> int | None:
+    """The task's recorded search work, when its kind produces any."""
+    states = res.detail.get("states_explored")
+    if isinstance(states, int) and not isinstance(states, bool):
+        return states
+    return None
+
+
 @dataclass
 class TrendLine:
     """One task present in both ledgers."""
@@ -31,6 +46,8 @@ class TrendLine:
     name: str
     old_wall: float
     new_wall: float
+    old_states: int | None = None
+    new_states: int | None = None
 
     @property
     def ratio(self) -> float:
@@ -39,33 +56,53 @@ class TrendLine:
             return float("inf") if self.new_wall > 0 else 1.0
         return self.new_wall / self.old_wall
 
+    @property
+    def states_ratio(self) -> float | None:
+        """new/old states-explored ratio; ``None`` when either side has no
+        state count (non-search kinds, pre-telemetry ledgers)."""
+        if self.old_states is None or self.new_states is None:
+            return None
+        if self.old_states <= 0:
+            return float("inf") if self.new_states > 0 else 1.0
+        return self.new_states / self.old_states
+
     def row(self) -> dict[str, Any]:
         ratio = self.ratio
-        return {
+        out = {
             "task": self.name,
             "old (s)": round(self.old_wall, 3),
             "new (s)": round(self.new_wall, 3),
             "ratio": "inf" if ratio == float("inf") else round(ratio, 2),
         }
+        sratio = self.states_ratio
+        if sratio is not None:
+            out["old states"] = self.old_states
+            out["new states"] = self.new_states
+            out["states ratio"] = "inf" if sratio == float("inf") else round(sratio, 2)
+        return out
 
 
 @dataclass
 class TrendReport:
-    """Join of two ledgers' latest per-task wall times."""
+    """Join of two ledgers' latest per-task wall times and state counts."""
 
     old_path: str
     new_path: str
     threshold: float
     min_seconds: float
+    states_threshold: float = 1.0
     compared: list[TrendLine] = field(default_factory=list)
     regressions: list[TrendLine] = field(default_factory=list)
     improvements: list[TrendLine] = field(default_factory=list)
+    #: tasks whose search explored more states than before (exact counts,
+    #: so no noise floor applies)
+    states_regressions: list[TrendLine] = field(default_factory=list)
     only_old: int = 0
     only_new: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.states_regressions
 
     def summary_rows(self) -> dict[str, Any]:
         return {
@@ -77,6 +114,7 @@ class TrendReport:
             "threshold": f"{self.threshold:g}x (min {self.min_seconds:g}s)",
             "regressions": len(self.regressions),
             "improvements": len(self.improvements),
+            "states regressions": len(self.states_regressions),
         }
 
 
@@ -96,10 +134,19 @@ def compare_ledgers(
     *,
     threshold: float = 1.5,
     min_seconds: float = 0.05,
+    states_threshold: float = 1.0,
 ) -> TrendReport:
-    """Diff per-task wall times of ``new_path`` against ``old_path``."""
+    """Diff per-task wall times and state counts of ``new_path`` against
+    ``old_path``.
+
+    ``states_threshold`` is the allowed new/old ``states_explored`` ratio;
+    the default ``1.0`` means any growth in search work is a regression
+    (state counts are deterministic, so there is no noise to tolerate).
+    """
     if threshold <= 1.0:
         raise ValueError("threshold must be > 1 (a ratio of new to old wall time)")
+    if states_threshold < 1.0:
+        raise ValueError("states_threshold must be >= 1 (a ratio of state counts)")
     old = latest_by_task(read_ledger(old_path)[0])
     new = latest_by_task(read_ledger(new_path)[0])
 
@@ -108,6 +155,7 @@ def compare_ledgers(
         new_path=str(new_path),
         threshold=threshold,
         min_seconds=min_seconds,
+        states_threshold=states_threshold,
         only_old=len(old.keys() - new.keys()),
         only_new=len(new.keys() - old.keys()),
     )
@@ -118,12 +166,20 @@ def compare_ledgers(
             name=n.name or o.name,
             old_wall=o.wall_time,
             new_wall=n.wall_time,
+            old_states=_states_of(o),
+            new_states=_states_of(n),
         )
         report.compared.append(line)
         if line.new_wall >= min_seconds and line.ratio > threshold:
             report.regressions.append(line)
         elif line.old_wall >= min_seconds and line.ratio < 1.0 / threshold:
             report.improvements.append(line)
+        sratio = line.states_ratio
+        if sratio is not None and sratio > states_threshold:
+            report.states_regressions.append(line)
     report.regressions.sort(key=lambda ln: ln.ratio, reverse=True)
     report.improvements.sort(key=lambda ln: ln.ratio)
+    report.states_regressions.sort(
+        key=lambda ln: ln.states_ratio or 0.0, reverse=True
+    )
     return report

@@ -13,6 +13,10 @@ Examples
     python -m repro traffic              # simulator validation traffic runs
     python -m repro dot fig1-cdg         # DOT of the Figure 1 CDG
 
+    # single-scenario verdicts with full diagnostics
+    python -m repro search fig1 --params '{"subset": ["M1", "M3"]}'
+    python -m repro classify ring-cycle --params '{"n": 4}' --json
+
     # verification campaigns: parallel, cached, ledgered sweeps
     python -m repro campaign run --spec paper-battery --jobs 4
     python -m repro campaign run --spec paper-battery --shard 1/3
@@ -20,16 +24,284 @@ Examples
     python -m repro campaign status
     python -m repro campaign clean
 
+    # telemetry (see docs/OBSERVABILITY.md): stream events, summarise them
+    python -m repro campaign run --spec quick --telemetry out.jsonl
+    python -m repro telemetry report out.jsonl
+
 The sweep-shaped commands (``fig3 --sweep``, ``gen``, ``theorem3``) route
 through the campaign runner; ``--jobs``/``--cache-dir`` parallelise and
-memoise them.
+memoise them.  ``search``/``classify``/``campaign run``/``lint`` accept
+``--telemetry PATH`` (JSONL event stream) and ``--telemetry-snapshot
+PATH`` (end-of-run metrics snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+
+@contextmanager
+def _telemetry_session(args: argparse.Namespace, command: str) -> Iterator[None]:
+    """Enable telemetry for one CLI invocation when flags ask for it.
+
+    Sets ``REPRO_TELEMETRY=on`` in the environment (so campaign worker
+    processes inherit it), attaches a JSONL exporter for ``--telemetry``,
+    wraps the command in a root span, and writes the final registry
+    snapshot for ``--telemetry-snapshot``.  Without either flag this is
+    a straight pass-through: no collector, no exporter, nothing.
+    """
+    telemetry_path = getattr(args, "telemetry", None)
+    snapshot_path = getattr(args, "telemetry_snapshot", None)
+    if not telemetry_path and not snapshot_path:
+        yield
+        return
+
+    import os
+
+    import repro.obs as obs
+
+    prev_env = os.environ.get(obs.ENV_VAR)
+    os.environ[obs.ENV_VAR] = "on"
+    tel = obs.get()
+    assert tel is not None
+    exporter = obs.JsonlExporter(telemetry_path) if telemetry_path else None
+    if exporter is not None:
+        tel.add_sink(exporter)
+    name = f"repro.{command}"
+    tel.run_start(name, argv=list(sys.argv[1:]))
+    try:
+        with tel.span(name):
+            yield
+    finally:
+        tel.run_end(name)
+        if snapshot_path:
+            obs.write_snapshot(tel, snapshot_path)
+        if exporter is not None:
+            tel.remove_sink(exporter)
+            exporter.close()
+        obs.reset()
+        if prev_env is None:
+            os.environ.pop(obs.ENV_VAR, None)
+        else:
+            os.environ[obs.ENV_VAR] = prev_env
+
+
+def _parse_scenario_params(args: argparse.Namespace, command: str) -> dict | None:
+    """Validate the ``<scenario> --params JSON`` argument pair (or None)."""
+    import json as _json
+
+    from repro.campaign.scenarios import scenario_names
+
+    if args.scenario not in scenario_names():
+        print(
+            f"{command}: unknown scenario {args.scenario!r}; registered: "
+            f"{', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        params = _json.loads(args.params)
+    except _json.JSONDecodeError as exc:
+        print(f"{command}: --params is not valid JSON: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(params, dict):
+        print(f"{command}: --params must be a JSON object", file=sys.stderr)
+        return None
+    return params
+
+
+def _certificate_note(code: str | None, short_circuited: bool) -> str | None:
+    """Human-readable account of the static-certificate fast path."""
+    if code is None:
+        return None
+    if short_circuited:
+        return f"decided by static certificate {code} (search skipped)"
+    return f"confirmed by static certificate {code}"
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import SystemSpec, search_deadlock
+    from repro.campaign.scenarios import build_scenario
+    from repro.experiments import render_kv
+
+    params = _parse_scenario_params(args, "search")
+    if params is None:
+        return 2
+    try:
+        bundle = build_scenario(args.scenario, params)
+    except Exception as exc:  # noqa: BLE001 - reported, drives exit code
+        print(f"search: scenario build failed: {exc}", file=sys.stderr)
+        return 2
+    if not bundle.messages:
+        print(
+            f"search: scenario {args.scenario!r} exposes no message set",
+            file=sys.stderr,
+        )
+        return 2
+    spec = SystemSpec.uniform(bundle.messages, budget=args.budget)
+    res = search_deadlock(
+        spec,
+        max_states=args.max_states,
+        find_witness=args.witness,
+        jobs=args.search_jobs,
+    )
+    verdict = "deadlock" if res.deadlock_reachable else "unreachable"
+    note = _certificate_note(res.certificate, res.states_explored == 0)
+
+    if args.json:
+        payload = {
+            "scenario": args.scenario,
+            "params": params,
+            "budget": args.budget,
+            "verdict": verdict,
+            "deadlock_reachable": res.deadlock_reachable,
+            "states_explored": res.states_explored,
+            "certificate": res.certificate,
+            "witness_cycles": (
+                None if res.witness is None else res.witness.num_cycles
+            ),
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
+
+    rows = {
+        "scenario": args.scenario,
+        "messages": len(bundle.messages),
+        "budget": args.budget,
+        "verdict": verdict,
+        "states explored": res.states_explored,
+    }
+    if note is not None:
+        rows["certificate"] = note
+    print(render_kv(rows, title="deadlock reachability search"))
+    if res.witness is not None:
+        print()
+        print(res.witness.render())
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.classify import classify_configuration, classify_cycle
+    from repro.campaign.scenarios import build_scenario
+    from repro.experiments import render_kv
+
+    params = _parse_scenario_params(args, "classify")
+    if params is None:
+        return 2
+    try:
+        bundle = build_scenario(args.scenario, params)
+    except Exception as exc:  # noqa: BLE001 - reported, drives exit code
+        print(f"classify: scenario build failed: {exc}", file=sys.stderr)
+        return 2
+
+    if bundle.cycle_classify is not None:
+        alg, cycle, pairs = bundle.cycle_classify
+        cls = classify_cycle(
+            alg,
+            cycle,
+            pairs=pairs,
+            length_slack=args.length_slack,
+            extra_copies=args.extra_copies,
+            budget=args.budget,
+            max_states=args.max_states,
+            search_jobs=args.search_jobs,
+        )
+        verdict = "deadlock" if cls.deadlock_reachable else "false-resource-cycle"
+        note = _certificate_note(cls.certificate, cls.scenarios_tested == 0)
+        if args.json:
+            payload = {
+                "scenario": args.scenario,
+                "params": params,
+                "mode": "cycle",
+                "verdict": verdict,
+                "deadlock_reachable": cls.deadlock_reachable,
+                "tilings_tested": cls.tilings_tested,
+                "scenarios_tested": cls.scenarios_tested,
+                "certificate": cls.certificate,
+                "notes": cls.notes,
+            }
+            print(_json.dumps(payload, indent=2))
+            return 0
+        rows = {
+            "scenario": args.scenario,
+            "mode": "CDG cycle",
+            "cycle channels": len(cls.cycle),
+            "verdict": verdict,
+            "tilings tested": cls.tilings_tested,
+            "scenarios tested": cls.scenarios_tested,
+        }
+        if note is not None:
+            rows["certificate"] = note
+        print(render_kv(rows, title="cycle classification"))
+        for line in cls.notes:
+            print(f"  note: {line}")
+        return 0
+
+    if not bundle.messages:
+        print(
+            f"classify: scenario {args.scenario!r} exposes neither a CDG "
+            "cycle nor a message set",
+            file=sys.stderr,
+        )
+        return 2
+    reachable, res = classify_configuration(
+        bundle.messages,
+        budget=args.budget,
+        length_slack=args.length_slack,
+        max_states=args.max_states,
+        search_jobs=args.search_jobs,
+    )
+    verdict = "deadlock" if reachable else "unreachable"
+    note = _certificate_note(res.certificate, res.states_explored == 0)
+    if args.json:
+        payload = {
+            "scenario": args.scenario,
+            "params": params,
+            "mode": "configuration",
+            "verdict": verdict,
+            "deadlock_reachable": reachable,
+            "states_explored": res.states_explored,
+            "certificate": res.certificate,
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
+    rows = {
+        "scenario": args.scenario,
+        "mode": "configuration",
+        "messages": len(bundle.messages),
+        "verdict": verdict,
+        "states explored": res.states_explored,
+    }
+    if note is not None:
+        rows["certificate"] = note
+    print(render_kv(rows, title="configuration classification"))
+    return 0
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.report import render, summarize
+
+    try:
+        report = summarize(args.events)
+    except OSError as exc:
+        print(f"telemetry report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        print(render(report, top=args.top))
+    if args.strict and not report.schema_valid:
+        return 1
+    return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -215,11 +487,17 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     ledger_dir = Path(args.cache_dir) / "ledgers"
     rows = []
     merged: dict[str, bool] = {}  # task_hash -> ok of latest execution
+    tele_counters: dict[str, float] = {}
+    tele_tasks = 0
     for path in sorted(ledger_dir.glob("*.jsonl")):
         results, summaries = read_ledger(path)
         last = summaries[-1] if summaries else {}
         for res in results:
             merged[res.task_hash] = res.ok
+            if res.telemetry:
+                tele_tasks += 1
+                for key, value in res.telemetry.get("counters", {}).items():
+                    tele_counters[key] = tele_counters.get(key, 0) + value
         rows.append(
             {
                 "ledger": path.name,
@@ -246,6 +524,15 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             {"distinct tasks": len(merged), "ok": ok, "failed": len(merged) - ok},
             title="merged across ledgers",
         ))
+    if tele_counters:
+        # roll-up of the per-task telemetry summaries embedded in ledger
+        # records by runs executed with REPRO_TELEMETRY on
+        rollup = {"task executions with telemetry": tele_tasks}
+        rollup.update(
+            {k: round(tele_counters[k], 6) for k in sorted(tele_counters)}
+        )
+        print()
+        print(render_kv(rollup, title="telemetry roll-up"))
     return 0
 
 
@@ -258,6 +545,7 @@ def _cmd_campaign_trend(args: argparse.Namespace) -> int:
             args.old, args.new,
             threshold=args.threshold,
             min_seconds=args.min_seconds,
+            states_threshold=args.states_threshold,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -274,6 +562,12 @@ def _cmd_campaign_trend(args: argparse.Namespace) -> int:
         print(render_table(
             [ln.row() for ln in report.improvements],
             title=f"improvements (< 1/{report.threshold:g}x)",
+        ))
+    if report.states_regressions:
+        print()
+        print(render_table(
+            [ln.row() for ln in report.states_regressions],
+            title=f"search-work regressions (states > {report.states_threshold:g}x)",
         ))
     return 0 if report.ok else 1
 
@@ -407,6 +701,18 @@ def build_parser() -> argparse.ArgumentParser:
             "multi-core machines and large frontiers)",
         )
 
+    def add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="stream telemetry events to this JSONL file (implies "
+            "REPRO_TELEMETRY=on; see docs/OBSERVABILITY.md)",
+        )
+        p.add_argument(
+            "--telemetry-snapshot", default=None, metavar="PATH",
+            help="write the end-of-run metrics snapshot (counters, gauges, "
+            "span aggregates) to this JSON file",
+        )
+
     p = sub.add_parser("fig1", help="Figure 1 / Theorem 1 battery")
     p.add_argument("--max-delay", type=int, default=3)
     add_search_jobs_flag(p)
@@ -452,6 +758,91 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_dot)
 
     p = sub.add_parser(
+        "search",
+        help="deadlock reachability search over one registered scenario",
+        description="Run the exhaustive BFS (with the static-certificate "
+        "pre-pass) over a registered scenario's message set.  The output "
+        "names the deciding certificate (e.g. CRT001) whenever the static "
+        "fast path short-circuited or confirmed the verdict.",
+    )
+    p.add_argument(
+        "scenario",
+        help="registered scenario name (see repro.campaign.scenarios)",
+    )
+    p.add_argument(
+        "--params", default="{}",
+        help='scenario parameters as a JSON object, e.g. \'{"subset": ["M1"]}\'',
+    )
+    p.add_argument("--budget", type=int, default=0, help="per-message stall budget")
+    p.add_argument(
+        "--max-states", type=int, default=4_000_000, help="state-count cap"
+    )
+    p.add_argument(
+        "--witness", action="store_true",
+        help="reconstruct and print a replayable deadlock witness",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    add_search_jobs_flag(p)
+    add_telemetry_flags(p)
+    p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser(
+        "classify",
+        help="classify a scenario: reachable deadlock vs false resource cycle",
+        description="Full-adversary classification of a registered scenario: "
+        "its CDG cycle when it exposes one (cycle tilings swept through the "
+        "reachability search), otherwise its message set.  Static "
+        "certificate codes are surfaced in both text and JSON output.",
+    )
+    p.add_argument(
+        "scenario",
+        help="registered scenario name (see repro.campaign.scenarios)",
+    )
+    p.add_argument(
+        "--params", default="{}",
+        help='scenario parameters as a JSON object, e.g. \'{"n": 4}\'',
+    )
+    p.add_argument("--budget", type=int, default=0, help="per-message stall budget")
+    p.add_argument(
+        "--length-slack", type=int, default=0,
+        help="sweep message lengths up to this far above minimum",
+    )
+    p.add_argument(
+        "--extra-copies", type=int, default=1,
+        help="cycle mode: also test up to this many duplicate messages",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=2_000_000, help="per-search state cap"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    add_search_jobs_flag(p)
+    add_telemetry_flags(p)
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser(
+        "telemetry", help="inspect telemetry event streams (report)"
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tr = tsub.add_parser(
+        "report",
+        help="validate + summarise a telemetry JSONL event stream",
+        description="Re-aggregate a --telemetry event stream: per-span "
+        "timing, counter totals, campaign per-task wall times and cache "
+        "hit rate -- everything rebuilt from the events alone.",
+    )
+    tr.add_argument("events", help="telemetry event stream (JSONL)")
+    tr.add_argument("--json", action="store_true", help="machine-readable output")
+    tr.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any event violates the documented schema",
+    )
+    tr.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest campaign tasks to list (default 10)",
+    )
+    tr.set_defaults(fn=_cmd_telemetry_report)
+
+    p = sub.add_parser(
         "lint",
         help="static deadlock linter (rule diagnostics + certificates)",
         description="Run the static routing linter over one registered "
@@ -483,6 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cycles", type=int, default=10_000,
         help="cap on CDG cycle enumeration (truncation is itself reported)",
     )
+    add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
@@ -515,6 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(see 'campaign status')",
     )
     add_search_jobs_flag(pr)
+    add_telemetry_flags(pr)
     pr.set_defaults(fn=_cmd_campaign_run)
 
     pt = csub.add_parser(
@@ -529,6 +922,12 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument(
         "--min-seconds", type=float, default=0.05,
         help="ignore tasks faster than this in the new ledger (noise floor)",
+    )
+    pt.add_argument(
+        "--states-threshold", type=float, default=1.0,
+        help="allowed growth ratio of per-task states_explored before the "
+        "trend fails (default 1.0: any growth in search work is a "
+        "regression -- state counts are exact, so no noise floor applies)",
     )
     pt.set_defaults(fn=_cmd_campaign_trend)
 
@@ -546,7 +945,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with _telemetry_session(args, args.command):
+        return args.fn(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

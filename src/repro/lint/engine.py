@@ -136,10 +136,30 @@ def lint_algorithm(
     max_probe_cycles: int = 32,
 ) -> LintReport:
     """Run every registered rule over a routing algorithm."""
+    from repro.obs import get as _obs_get
+
     ctx = LintContext(
         alg, pairs, max_cycles=max_cycles, max_probe_cycles=max_probe_cycles
     )
     target = name if name is not None else f"{alg.fn.name()} on {alg.network.name}"
+    tel = _obs_get()
+    if tel is None:
+        return _lint_algorithm_impl(ctx, target)
+    with tel.span("lint.algorithm", target=target) as sp:
+        report = _lint_algorithm_impl(ctx, target)
+        cert_diag = report.certificate_diagnostic
+        sp.set(
+            verdict=report.verdict,
+            diagnostics=len(report.diagnostics),
+            rules_run=len(report.rules_run),
+            certificate=None if cert_diag is None else cert_diag.code,
+        )
+        tel.incr("lint.runs")
+        tel.incr("lint.diagnostics", len(report.diagnostics))
+    return report
+
+
+def _lint_algorithm_impl(ctx: LintContext, target: str) -> LintReport:
     report = LintReport(target=target)
     certified = False
     for rule in all_rules():

@@ -1,0 +1,249 @@
+"""Telemetry core: nested spans, a counter/gauge registry, event sinks.
+
+One :class:`Telemetry` instance collects everything a run produces:
+
+* **spans** -- named, nested timing scopes.  The current span is tracked
+  in a :class:`contextvars.ContextVar`, so nesting follows the call stack
+  (and stays correct under ``asyncio`` or thread pools that copy
+  context).  Every span emits a ``span_start``/``span_end`` event pair
+  and folds its duration into a per-name aggregate.
+* **counters** -- monotonic named sums (``incr``).  Each increment emits
+  one ``counter`` event and accumulates into the registry, so the final
+  registry value always equals the sum of the event stream.
+* **gauges** -- last-value-wins measurements (``gauge``).
+
+Events are plain dicts (see :mod:`repro.obs.schema` for the documented
+shape) pushed to every attached *sink* -- a callable taking the event
+dict.  With no sinks attached, collection still aggregates (that is what
+campaign worker processes do: no exporter, just a summary embedded in the
+task result).
+
+The module deliberately imports nothing beyond the standard library so
+instrumented hot layers (analysis, sim) can import it unconditionally.
+Enabled/disabled gating lives in :mod:`repro.obs` (the package
+``__init__``): disabled mode never constructs a ``Telemetry`` at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+#: version stamped into every event as ``v`` (see repro.obs.schema)
+EVENT_SCHEMA_VERSION = 1
+
+Sink = Callable[[dict[str, Any]], None]
+
+
+@dataclass
+class Span:
+    """One live timing scope; annotate it with :meth:`set`."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes reported on the span's ``span_end`` event."""
+        self.attrs.update(attrs)
+
+
+@dataclass
+class SpanStats:
+    """Per-name aggregate over finished spans."""
+
+    count: int = 0
+    wall_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, dur_s: float) -> None:
+        self.count += 1
+        self.wall_s += dur_s
+        if dur_s > self.max_s:
+            self.max_s = dur_s
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "wall_s": round(self.wall_s, 6),
+            "max_s": round(self.max_s, 6),
+        }
+
+
+@dataclass
+class Mark:
+    """A point-in-time registry snapshot for :meth:`Telemetry.since`."""
+
+    counters: dict[str, float]
+    spans: dict[str, tuple[int, float]]
+
+
+class Telemetry:
+    """A live telemetry collector (spans + counters + gauges + sinks)."""
+
+    def __init__(self, *, run_id: str = "") -> None:
+        self.run_id = run_id
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.span_stats: dict[str, SpanStats] = {}
+        self._sinks: list[Sink] = []
+        self._ids = itertools.count(1)
+        self._current: ContextVar[Span | None] = ContextVar(
+            "repro_obs_current_span", default=None
+        )
+
+    # ------------------------------------------------------------------
+    # sinks + event emission
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def current_span(self) -> Span | None:
+        return self._current.get()
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        *,
+        span: int | None = None,
+        parent: int | None = None,
+        attrs: dict[str, Any] | None = None,
+        **extra: Any,
+    ) -> None:
+        if span is None:
+            cur = self._current.get()
+            span = cur.span_id if cur is not None else None
+        event: dict[str, Any] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "t": round(time.time(), 6),
+            "kind": kind,
+            "name": name,
+            "span": span,
+            "parent": parent,
+            "attrs": attrs or {},
+        }
+        event.update(extra)
+        for sink in self._sinks:
+            sink(event)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, /, **attrs: Any) -> Iterator[Span]:
+        """Open a nested timing scope; yields the live :class:`Span`."""
+        parent = self._current.get()
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        token = self._current.set(sp)
+        self._emit(
+            "span_start", name, span=sp.span_id, parent=sp.parent_id, attrs=dict(attrs)
+        )
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            dur = time.perf_counter() - t0
+            self._current.reset(token)
+            merged = {**attrs, **sp.attrs}
+            self.span_stats.setdefault(name, SpanStats()).add(dur)
+            self._emit(
+                "span_end",
+                name,
+                span=sp.span_id,
+                parent=sp.parent_id,
+                attrs=merged,
+                dur_s=round(dur, 6),
+            )
+
+    def point_span(self, name: str, dur_s: float, /, **attrs: Any) -> None:
+        """Record an already-finished scope with an externally measured
+        duration (e.g. a campaign task that ran in a worker process)."""
+        parent = self._current.get()
+        sid = next(self._ids)
+        pid = parent.span_id if parent is not None else None
+        self.span_stats.setdefault(name, SpanStats()).add(dur_s)
+        self._emit("span_start", name, span=sid, parent=pid, attrs=dict(attrs))
+        self._emit(
+            "span_end",
+            name,
+            span=sid,
+            parent=pid,
+            attrs=dict(attrs),
+            dur_s=round(dur_s, 6),
+        )
+
+    # ------------------------------------------------------------------
+    # counters / gauges / freeform events
+    # ------------------------------------------------------------------
+    def incr(self, name: str, value: float = 1, /, **attrs: Any) -> None:
+        """Add ``value`` to counter ``name`` (and emit a ``counter`` event)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+        self._emit("counter", name, attrs=dict(attrs), value=value)
+
+    def gauge(self, name: str, value: float, /, **attrs: Any) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+        self._emit("gauge", name, attrs=dict(attrs), value=value)
+
+    def event(self, name: str, /, **attrs: Any) -> None:
+        """Emit a freeform point event (no registry side effect)."""
+        self._emit("event", name, attrs=dict(attrs))
+
+    def run_start(self, name: str, /, **attrs: Any) -> None:
+        self._emit("run_start", name, attrs=dict(attrs))
+
+    def run_end(self, name: str, /, **attrs: Any) -> None:
+        self._emit("run_end", name, attrs={**attrs, "snapshot": self.snapshot()})
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as a JSON-able dict."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "spans": {
+                k: self.span_stats[k].to_json() for k in sorted(self.span_stats)
+            },
+        }
+
+    def mark(self) -> Mark:
+        """A snapshot suitable for :meth:`since` deltas."""
+        return Mark(
+            counters=dict(self.counters),
+            spans={k: (s.count, s.wall_s) for k, s in self.span_stats.items()},
+        )
+
+    def since(self, mark: Mark) -> dict[str, Any]:
+        """Registry deltas accumulated after ``mark`` (for per-task
+        summaries embedded in campaign ledger records)."""
+        counters: dict[str, float] = {}
+        for name, value in self.counters.items():
+            delta = value - mark.counters.get(name, 0)
+            if delta:
+                counters[name] = round(delta, 6)
+        spans: dict[str, dict[str, float]] = {}
+        for name, stats in self.span_stats.items():
+            count0, wall0 = mark.spans.get(name, (0, 0.0))
+            if stats.count > count0:
+                spans[name] = {
+                    "count": stats.count - count0,
+                    "wall_s": round(stats.wall_s - wall0, 6),
+                }
+        return {"counters": counters, "spans": spans}

@@ -1,0 +1,173 @@
+"""Summarise a telemetry JSONL event stream (``repro telemetry report``).
+
+The summariser rebuilds everything from the events alone -- counters are
+re-summed from ``counter`` events, span aggregates from ``span_end``
+events -- so it doubles as an end-to-end check that the stream is
+self-sufficient.  For campaign streams it reproduces the ledger's
+numbers without the ledger: per-task wall times come from the
+``campaign.task`` spans and the cache hit rate from the
+``campaign.cache.*`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.core import SpanStats
+from repro.obs.schema import validate_event
+
+#: span name the campaign runner emits once per finalized task
+CAMPAIGN_TASK_SPAN = "campaign.task"
+
+
+@dataclass
+class TelemetryReport:
+    """Everything the summariser recovered from one event stream."""
+
+    path: str
+    events: int = 0
+    unparseable_lines: int = 0
+    #: (event index, violation) pairs from the schema validator
+    invalid: list[tuple[int, str]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    #: campaign.task span attrs + duration, in emission order
+    tasks: list[dict[str, Any]] = field(default_factory=list)
+    run_names: list[str] = field(default_factory=list)
+
+    @property
+    def schema_valid(self) -> bool:
+        return not self.invalid and not self.unparseable_lines
+
+    def task_wall_times(self) -> dict[str, float]:
+        """Latest wall time per task name, reproduced from events alone."""
+        out: dict[str, float] = {}
+        for task in self.tasks:
+            out[str(task.get("name", ""))] = float(task.get("dur_s", 0.0))
+        return out
+
+    def cache_hit_rate(self) -> float | None:
+        """hits / lookups from the campaign counters; None without a cache."""
+        hits = self.counters.get("campaign.cache.hits", 0)
+        lookups = hits + self.counters.get("campaign.cache.misses", 0)
+        if not lookups:
+            return None
+        return hits / lookups
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "events": self.events,
+            "unparseable_lines": self.unparseable_lines,
+            "invalid": [list(pair) for pair in self.invalid],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "spans": {k: self.spans[k].to_json() for k in sorted(self.spans)},
+            "tasks": self.tasks,
+            "cache_hit_rate": self.cache_hit_rate(),
+        }
+
+
+def read_events(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Parsed events plus the count of unparseable lines (crash tails)."""
+    events: list[dict[str, Any]] = []
+    bad = 0
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except ValueError:
+                bad += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                bad += 1
+    return events, bad
+
+
+def summarize(path: str | Path) -> TelemetryReport:
+    """Validate and aggregate one JSONL event stream."""
+    events, bad = read_events(path)
+    report = TelemetryReport(path=str(path), events=len(events), unparseable_lines=bad)
+    for i, event in enumerate(events):
+        errors = validate_event(event)
+        if errors:
+            report.invalid.extend((i, err) for err in errors)
+            continue
+        kind, name = event["kind"], event["name"]
+        if kind == "counter":
+            report.counters[name] = report.counters.get(name, 0) + event["value"]
+        elif kind == "gauge":
+            report.gauges[name] = event["value"]
+        elif kind == "span_end":
+            report.spans.setdefault(name, SpanStats()).add(event["dur_s"])
+            if name == CAMPAIGN_TASK_SPAN:
+                report.tasks.append({**event["attrs"], "dur_s": event["dur_s"]})
+        elif kind in ("run_start", "run_end"):
+            if name not in report.run_names:
+                report.run_names.append(name)
+    return report
+
+
+def render(report: TelemetryReport, *, top: int = 10) -> str:
+    """Human-readable summary (the default ``telemetry report`` output)."""
+    from repro.experiments import render_kv, render_table
+
+    head: dict[str, Any] = {
+        "stream": report.path,
+        "events": report.events,
+        "schema violations": len(report.invalid),
+        "unparseable lines": report.unparseable_lines,
+    }
+    if report.run_names:
+        head["runs"] = ", ".join(report.run_names)
+    hit_rate = report.cache_hit_rate()
+    if hit_rate is not None:
+        head["campaign cache hit rate"] = f"{hit_rate:.0%}"
+    parts = [render_kv(head, title="telemetry report")]
+
+    if report.spans:
+        rows = [
+            {
+                "span": name,
+                "count": stats.count,
+                "total (s)": round(stats.wall_s, 3),
+                "mean (s)": round(stats.wall_s / stats.count, 4),
+                "max (s)": round(stats.max_s, 4),
+            }
+            for name, stats in sorted(
+                report.spans.items(), key=lambda kv: -kv[1].wall_s
+            )
+        ]
+        parts.append(render_table(rows, title="spans"))
+
+    if report.counters:
+        parts.append(
+            render_kv(
+                {k: round(v, 6) for k, v in sorted(report.counters.items())},
+                title="counters",
+            )
+        )
+
+    walls = report.task_wall_times()
+    if walls:
+        ranked = sorted(walls.items(), key=lambda kv: -kv[1])[:top]
+        rows = [{"task": name, "wall (s)": round(w, 3)} for name, w in ranked]
+        parts.append(render_table(rows, title=f"slowest campaign tasks (top {top})"))
+
+    if report.invalid:
+        lines = [
+            f"  event {i}: {err}" for i, err in report.invalid[:20]
+        ]
+        if len(report.invalid) > 20:
+            lines.append(f"  ... ({len(report.invalid) - 20} more)")
+        parts.append("schema violations:\n" + "\n".join(lines))
+    return "\n\n".join(parts)

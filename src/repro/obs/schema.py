@@ -1,0 +1,110 @@
+"""The telemetry JSONL event schema, and its validator.
+
+Every line of a telemetry event stream is one JSON object with exactly
+these base fields (see ``docs/OBSERVABILITY.md`` for the prose spec):
+
+``v``
+    int -- event schema version; currently ``1``.
+``t``
+    float -- wall-clock UNIX timestamp of emission.
+``kind``
+    one of :data:`EVENT_KINDS`.
+``name``
+    non-empty str -- span name, counter name, or event name.
+``span``
+    int or null -- for ``span_start``/``span_end``, the span's own id;
+    for everything else, the id of the enclosing span (null at top
+    level).  Ids are unique within one collector.
+``parent``
+    int or null -- the parent span id (``span_*`` kinds only; null
+    otherwise and for root spans).
+``attrs``
+    object -- free-form JSON-able annotations.
+
+Kind-specific extras:
+
+``span_end``
+    ``dur_s``: non-negative float, the span's wall-clock duration.
+``counter`` / ``gauge``
+    ``value``: finite number (the increment, resp. the new level).
+``run_end``
+    ``attrs.snapshot``: the final registry snapshot (counters, gauges,
+    per-name span aggregates).
+
+:func:`validate_event` returns a list of human-readable violations
+(empty = valid); :func:`validate_stream` folds that over a parsed event
+iterable.  The CI telemetry-smoke job and ``python -m repro telemetry
+report --strict`` are both built on these.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.obs.core import EVENT_SCHEMA_VERSION
+
+EVENT_KINDS = (
+    "run_start",
+    "span_start",
+    "span_end",
+    "counter",
+    "gauge",
+    "event",
+    "run_end",
+)
+
+_BASE_FIELDS = ("v", "t", "kind", "name", "span", "parent", "attrs")
+
+
+def _is_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_event(event: Any) -> list[str]:
+    """Violations of the documented event shape (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event is {type(event).__name__}, not an object"]
+    errors: list[str] = []
+    for fld in _BASE_FIELDS:
+        if fld not in event:
+            errors.append(f"missing field {fld!r}")
+    if errors:
+        return errors
+    if event["v"] != EVENT_SCHEMA_VERSION:
+        errors.append(f"unknown schema version {event['v']!r}")
+    if not _is_number(event["t"]):
+        errors.append(f"t is not a finite number: {event['t']!r}")
+    kind = event["kind"]
+    if kind not in EVENT_KINDS:
+        errors.append(f"unknown kind {kind!r}")
+    name = event["name"]
+    if not isinstance(name, str) or not name:
+        errors.append(f"name must be a non-empty string, got {name!r}")
+    for fld in ("span", "parent"):
+        if event[fld] is not None and not isinstance(event[fld], int):
+            errors.append(f"{fld} must be an int or null, got {event[fld]!r}")
+    if not isinstance(event["attrs"], dict):
+        errors.append(f"attrs must be an object, got {type(event['attrs']).__name__}")
+    if kind == "span_end":
+        dur = event.get("dur_s")
+        if not _is_number(dur) or dur < 0:
+            errors.append(f"span_end needs a non-negative dur_s, got {dur!r}")
+    if kind in ("counter", "gauge") and not _is_number(event.get("value")):
+        errors.append(f"{kind} needs a numeric value, got {event.get('value')!r}")
+    if kind == "span_start" and event["span"] is None:
+        errors.append("span_start must carry its own span id")
+    return errors
+
+
+def validate_stream(events: list[dict[str, Any]]) -> list[tuple[int, str]]:
+    """``(index, violation)`` pairs over a parsed event list."""
+    out: list[tuple[int, str]] = []
+    for i, event in enumerate(events):
+        for err in validate_event(event):
+            out.append((i, err))
+    return out

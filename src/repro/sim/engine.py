@@ -28,10 +28,12 @@ by tests in ``tests/test_cross_validation.py``).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable
 
+from repro.obs import get as _obs_get
 from repro.routing.base import INJECT, RoutingError, RoutingFunction
 from repro.sim.arbitration import ArbitrationPolicy, FifoArbitration
 from repro.sim.deadlock import DeadlockReport, detect_deadlock
@@ -495,6 +497,41 @@ class Simulator:
 
     def run(self) -> SimResult:
         """Run to completion, deadlock, or the cycle limit."""
+        tel = _obs_get()
+        if tel is None:
+            return self._run_impl()
+        with tel.span(
+            "sim.run",
+            messages=len(self.messages),
+            switching=self.config.switching,
+        ) as sp:
+            t0 = time.perf_counter()
+            result = self._run_impl()
+            dur = time.perf_counter() - t0
+            sp.set(
+                cycles=result.cycles,
+                delivered=result.delivered,
+                total=result.total,
+                deadlocked=result.deadlocked,
+                timed_out=result.timed_out,
+                flit_moves=result.stats.flit_moves,
+                arbitration_conflicts=result.stats.arbitration_conflicts,
+            )
+            if dur > 0 and result.cycles:
+                sp.set(
+                    cycles_per_sec=round(result.cycles / dur, 1),
+                    conflicts_per_sec=round(
+                        result.stats.arbitration_conflicts / dur, 1
+                    ),
+                )
+            tel.incr("sim.runs")
+            tel.incr("sim.cycles", result.cycles)
+            tel.incr("sim.flit_moves", result.stats.flit_moves)
+            tel.incr("sim.arbitration_conflicts", result.stats.arbitration_conflicts)
+            tel.incr("sim.delivered", result.delivered)
+        return result
+
+    def _run_impl(self) -> SimResult:
         deadlock: DeadlockReport | None = None
         while self.cycle < self.config.max_cycles:
             if self._all_done():

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Collection
 
 
 @dataclass
@@ -11,11 +12,24 @@ class TraceRecorder:
 
     Pass ``recorder`` (it is callable) as the ``trace=`` argument of
     :class:`~repro.sim.engine.Simulator`.
+
+    ``kinds`` optionally restricts recording to the named event kinds;
+    events of other kinds are dropped before their data dict is copied,
+    so long traffic runs that only care about e.g. ``deliver`` events
+    do not accumulate (or allocate) the full movement trace.
     """
 
     events: list[tuple[int, str, dict]] = field(default_factory=list)
+    #: record only these event kinds (``None`` = record everything)
+    kinds: Collection[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kinds is not None:
+            self.kinds = frozenset(self.kinds)
 
     def __call__(self, cycle: int, kind: str, data: dict) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
         self.events.append((cycle, kind, dict(data)))
 
     def of_kind(self, kind: str) -> list[tuple[int, str, dict]]:

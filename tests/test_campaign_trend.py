@@ -1,0 +1,143 @@
+"""campaign trend: per-task wall-time and states_explored diffs."""
+
+import pytest
+
+from repro.campaign.ledger import RunLedger
+from repro.campaign.tasks import TaskResult
+from repro.campaign.trend import TrendLine, compare_ledgers
+
+
+def result(task_hash, wall, *, states=None, ok=True, name=None):
+    detail = {} if states is None else {"states_explored": states}
+    return TaskResult(
+        task_hash=task_hash,
+        name=name or f"task-{task_hash}",
+        kind="reachability",
+        scenario="fig1",
+        params={},
+        verdict="unreachable",
+        detail=detail,
+        ok=ok,
+        wall_time=wall,
+    )
+
+
+def write_ledger(path, results):
+    with RunLedger(path) as ledger:
+        for res in results:
+            ledger.record(res)
+    return path
+
+
+class TestWallTrend:
+    def test_regression_and_improvement(self, tmp_path):
+        old = write_ledger(tmp_path / "old.jsonl", [
+            result("a", 1.0), result("b", 1.0), result("c", 1.0),
+        ])
+        new = write_ledger(tmp_path / "new.jsonl", [
+            result("a", 2.0), result("b", 0.4), result("c", 1.05),
+        ])
+        report = compare_ledgers(old, new, threshold=1.5, min_seconds=0.05)
+        assert [ln.task_hash for ln in report.regressions] == ["a"]
+        assert [ln.task_hash for ln in report.improvements] == ["b"]
+        assert not report.ok
+
+    def test_noise_floor_shields_tiny_tasks(self, tmp_path):
+        old = write_ledger(tmp_path / "old.jsonl", [result("a", 0.001)])
+        new = write_ledger(tmp_path / "new.jsonl", [result("a", 0.01)])
+        report = compare_ledgers(old, new, threshold=1.5, min_seconds=0.05)
+        assert report.ok and not report.regressions
+
+    def test_threshold_validation(self, tmp_path):
+        path = write_ledger(tmp_path / "l.jsonl", [result("a", 1.0)])
+        with pytest.raises(ValueError, match="threshold"):
+            compare_ledgers(path, path, threshold=1.0)
+
+
+class TestStatesTrend:
+    def test_states_growth_fails_even_under_noise_floor(self, tmp_path):
+        # wall time unchanged and tiny -- but the search did more work,
+        # which is deterministic, so no noise floor applies
+        old = write_ledger(tmp_path / "old.jsonl", [result("a", 0.001, states=100)])
+        new = write_ledger(tmp_path / "new.jsonl", [result("a", 0.001, states=150)])
+        report = compare_ledgers(old, new)
+        assert [ln.task_hash for ln in report.states_regressions] == ["a"]
+        assert not report.regressions  # wall time is fine
+        assert not report.ok
+        assert report.summary_rows()["states regressions"] == 1
+
+    def test_equal_or_fewer_states_pass(self, tmp_path):
+        old = write_ledger(tmp_path / "old.jsonl", [
+            result("a", 0.1, states=100), result("b", 0.1, states=100),
+        ])
+        new = write_ledger(tmp_path / "new.jsonl", [
+            result("a", 0.1, states=100), result("b", 0.1, states=60),
+        ])
+        report = compare_ledgers(old, new)
+        assert report.ok and not report.states_regressions
+
+    def test_states_threshold_tolerates_bounded_growth(self, tmp_path):
+        old = write_ledger(tmp_path / "old.jsonl", [result("a", 0.1, states=100)])
+        new = write_ledger(tmp_path / "new.jsonl", [result("a", 0.1, states=110)])
+        assert not compare_ledgers(old, new).ok
+        assert compare_ledgers(old, new, states_threshold=1.2).ok
+
+    def test_missing_states_on_either_side_is_not_compared(self, tmp_path):
+        # non-search kinds (and pre-telemetry ledgers) have no state count
+        old = write_ledger(tmp_path / "old.jsonl", [
+            result("a", 0.1), result("b", 0.1, states=50),
+        ])
+        new = write_ledger(tmp_path / "new.jsonl", [
+            result("a", 0.1, states=999), result("b", 0.1),
+        ])
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert all(ln.states_ratio is None for ln in report.compared)
+
+    def test_zero_to_some_states_is_infinite_regression(self, tmp_path):
+        # a certificate short-circuit (0 states) that starts searching
+        old = write_ledger(tmp_path / "old.jsonl", [result("a", 0.1, states=0)])
+        new = write_ledger(tmp_path / "new.jsonl", [result("a", 0.1, states=7)])
+        report = compare_ledgers(old, new)
+        assert report.states_regressions[0].states_ratio == float("inf")
+        assert report.states_regressions[0].row()["states ratio"] == "inf"
+
+    def test_states_threshold_validation(self, tmp_path):
+        path = write_ledger(tmp_path / "l.jsonl", [result("a", 1.0)])
+        with pytest.raises(ValueError, match="states_threshold"):
+            compare_ledgers(path, path, states_threshold=0.9)
+
+    def test_row_includes_states_columns_only_when_present(self):
+        with_states = TrendLine("h", "t", 1.0, 1.0, old_states=10, new_states=20)
+        assert with_states.row()["states ratio"] == 2.0
+        without = TrendLine("h", "t", 1.0, 1.0)
+        assert "states ratio" not in without.row()
+
+
+class TestTrendCli:
+    def test_cli_reports_states_regressions_and_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = write_ledger(tmp_path / "old.jsonl", [result("a", 0.1, states=100)])
+        new = write_ledger(tmp_path / "new.jsonl", [result("a", 0.1, states=200)])
+        rc = main(["campaign", "trend", str(old), str(new)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "search-work regressions" in out
+        assert "states regressions : 1" in out.replace("  ", " ").replace("  ", " ") or \
+            "states regressions" in out
+
+        rc = main([
+            "campaign", "trend", str(old), str(new), "--states-threshold", "2.0",
+        ])
+        assert rc == 0
+
+    def test_cli_rejects_bad_states_threshold(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_ledger(tmp_path / "l.jsonl", [result("a", 1.0)])
+        rc = main([
+            "campaign", "trend", str(path), str(path), "--states-threshold", "0.5",
+        ])
+        assert rc == 2
+        assert "states_threshold" in capsys.readouterr().err

@@ -62,7 +62,8 @@ class TestLintCli:
 class TestCampaignLintKind:
     def test_schema_version_bumped_for_lint(self):
         # v3: static-certificate pre-pass + the lint task kind change payloads
-        assert SCHEMA_VERSION == 3
+        # v4: TaskResult grew the per-task telemetry summary field
+        assert SCHEMA_VERSION == 4
 
     def test_lint_task_executes(self):
         task = CampaignTask.make(

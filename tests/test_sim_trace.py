@@ -50,3 +50,32 @@ def test_render_and_limit():
     assert out.count("\n") == 3
     full = rec.render(limit=10_000)
     assert "more events" not in full
+
+
+def make_filtered_run(kinds):
+    net = ring(6)
+    rec = TraceRecorder(kinds=kinds)
+    sim = Simulator(
+        net, clockwise_ring(net, 6), [MessageSpec(0, 0, 2, length=3)],
+        trace=rec,
+    )
+    sim.run()
+    return rec
+
+
+def test_kind_filter_records_only_named_kinds():
+    rec = make_filtered_run({"deliver"})
+    assert rec.events and all(k == "deliver" for _, k, _ in rec.events)
+    # the filtered stream matches the deliver slice of an unfiltered run
+    full = make_run()
+    assert [(k, d) for _, k, d in rec.events] == [
+        (k, d) for _, k, d in full.of_kind("deliver")
+    ]
+
+
+def test_kind_filter_accepts_any_collection_and_none_records_all():
+    as_list = make_filtered_run(["inject", "deliver"])
+    assert {k for _, k, _ in as_list.events} == {"inject", "deliver"}
+    assert isinstance(as_list.kinds, frozenset)
+    unfiltered = make_filtered_run(None)
+    assert {"advance", "consume", "release"} <= {k for _, k, _ in unfiltered.events}
