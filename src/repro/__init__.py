@@ -10,6 +10,10 @@ Subpackages
 ``repro.analysis``    exhaustive deadlock-reachability analysis
 ``repro.core``        the paper's constructions and theory
 ``repro.experiments`` per-figure/theorem experiment drivers
+``repro.campaign``    parallel cached verification campaigns
+``repro.lint``        static deadlock linter and certificates
+``repro.obs``         opt-in telemetry (spans, counters, JSONL events)
+``repro.serve``       HTTP verification service over the shared result cache
 ``repro.viz``         DOT / text rendering
 
 See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
@@ -26,5 +30,9 @@ __all__ = [
     "analysis",
     "core",
     "experiments",
+    "campaign",
+    "lint",
+    "obs",
+    "serve",
     "viz",
 ]

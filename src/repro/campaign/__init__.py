@@ -13,8 +13,12 @@ recorded in an append-only ledger:
 :mod:`runner`     -- :func:`run_campaign`, a ``ProcessPoolExecutor`` pool
                      with per-task timeout, bounded retry, and a serial
                      in-process fallback.
-:mod:`cache`      -- :class:`ResultCache`, JSON files keyed by task hash +
-                     schema salt, with hit/miss/stale accounting.
+:mod:`cache`      -- the :class:`CacheBackend` protocol and its backends:
+                     :class:`ResultCache` (JSON files keyed by task hash +
+                     schema salt), :class:`MemoryLRUCache` (serve hot
+                     tier), :class:`SqliteCache` (shareable across
+                     processes/CI runners), :class:`TieredCache`, all
+                     with hit/miss/stale accounting + integrity scans.
 :mod:`ledger`     -- :class:`RunLedger` (JSONL) + :class:`CampaignSummary`.
 :mod:`progress`   -- periodic done/total/rate/ETA reporting.
 :mod:`specs`      -- built-in campaign specs (``paper-battery``, ``quick``).
@@ -33,7 +37,17 @@ from repro.campaign.tasks import (
     shard_tasks,
     SCHEMA_VERSION,
 )
-from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.cache import (
+    CacheBackend,
+    CacheIntegrity,
+    CacheStats,
+    MemoryLRUCache,
+    ResultCache,
+    SqliteCache,
+    TieredCache,
+    make_backend,
+    schema_salt,
+)
 from repro.campaign.ledger import CampaignSummary, RunLedger, read_ledger
 from repro.campaign.runner import RunnerConfig, run_campaign
 from repro.campaign.progress import ProgressReporter
@@ -49,8 +63,15 @@ __all__ = [
     "SCHEMA_VERSION",
     "TrendReport",
     "compare_ledgers",
-    "ResultCache",
+    "CacheBackend",
+    "CacheIntegrity",
     "CacheStats",
+    "MemoryLRUCache",
+    "ResultCache",
+    "SqliteCache",
+    "TieredCache",
+    "make_backend",
+    "schema_salt",
     "RunLedger",
     "CampaignSummary",
     "read_ledger",

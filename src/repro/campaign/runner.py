@@ -3,7 +3,7 @@
 Execution model:
 
 * tasks are deduplicated by content hash (first occurrence wins) and
-  looked up in the :class:`~repro.campaign.cache.ResultCache` first;
+  looked up in the configured :class:`~repro.campaign.cache.CacheBackend` first;
 * cache misses run in waves: wave 1 is every miss, wave ``k+1`` is the
   failures of wave ``k``, up to ``retries`` extra attempts with
   exponential backoff between waves (task-level errors are captured into
@@ -34,7 +34,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import CacheBackend
 from repro.campaign.ledger import CampaignSummary, RunLedger
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.tasks import CampaignTask, TaskResult, execute_task
@@ -154,7 +154,7 @@ class _WaveExecutor:
 def run_campaign(
     tasks: Iterable[CampaignTask],
     *,
-    cache: ResultCache | None = None,
+    cache: CacheBackend | None = None,
     ledger: RunLedger | None = None,
     progress: ProgressReporter | None = None,
     config: RunnerConfig | None = None,
@@ -199,7 +199,7 @@ def run_campaign(
 def _run_campaign_impl(
     tasks: Iterable[CampaignTask],
     *,
-    cache: ResultCache | None,
+    cache: CacheBackend | None,
     ledger: RunLedger | None,
     progress: ProgressReporter | None,
     config: RunnerConfig | None,

@@ -152,14 +152,35 @@ class CampaignTask:
 
 
 def parse_shard(text: str) -> tuple[int, int]:
-    """Parse an ``"i/n"`` shard selector (1-based index ``i`` of ``n``)."""
+    """Parse an ``"i/n"`` shard selector (1-based index ``i`` of ``n``).
+
+    Malformed selectors are rejected loudly with a message naming the
+    specific defect -- a silently-empty shard (e.g. from ``0/4`` under
+    0-based assumptions, or ``5/4`` from a typo) would skip work without
+    anyone noticing until the merged campaign came up short.
+    """
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise ValueError(f"shard must look like 'i/n', got {text!r}")
     try:
-        index_s, count_s = text.split("/")
-        index, count = int(index_s), int(count_s)
+        index, count = int(parts[0]), int(parts[1])
     except ValueError:
-        raise ValueError(f"shard must look like 'i/n', got {text!r}") from None
-    if count < 1 or not 1 <= index <= count:
-        raise ValueError(f"shard index out of range: {text!r} (need 1 <= i <= n)")
+        raise ValueError(
+            f"shard must be two integers 'i/n', got {text!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"shard count must be a positive integer, got {count} in {text!r}"
+        )
+    if index < 1:
+        raise ValueError(
+            f"shard index is 1-based: got {index} in {text!r}"
+            f" (the first shard is '1/{count}', not '0/{count}')"
+        )
+    if index > count:
+        raise ValueError(
+            f"shard index {index} exceeds shard count {count} in {text!r}"
+        )
     return index, count
 
 

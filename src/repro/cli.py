@@ -28,6 +28,13 @@ Examples
     python -m repro campaign run --spec quick --telemetry out.jsonl
     python -m repro telemetry report out.jsonl
 
+    # verification-as-a-service (see docs/SERVE.md)
+    python -m repro serve --port 8765 --cache-backend sqlite:shared.db
+    python -m repro client search fig1                # == `repro search --json`
+    python -m repro client status
+    python -m repro serve --shards 3 &  # coordinator fan-out
+    python -m repro client worker --jobs 2
+
 The sweep-shaped commands (``fig3 --sweep``, ``gen``, ``theorem3``) route
 through the campaign runner; ``--jobs``/``--cache-dir`` parallelise and
 memoise them.  ``search``/``classify``/``campaign run``/``lint`` accept
@@ -123,8 +130,6 @@ def _certificate_note(code: str | None, short_circuited: bool) -> str | None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    import json as _json
-
     from repro.analysis import SystemSpec, search_deadlock
     from repro.campaign.scenarios import build_scenario
     from repro.experiments import render_kv
@@ -154,19 +159,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
     note = _certificate_note(res.certificate, res.states_explored == 0)
 
     if args.json:
-        payload = {
-            "scenario": args.scenario,
-            "params": params,
-            "budget": args.budget,
-            "verdict": verdict,
-            "deadlock_reachable": res.deadlock_reachable,
-            "states_explored": res.states_explored,
-            "certificate": res.certificate,
-            "witness_cycles": (
+        # built by the same function the serve API uses, so a cold
+        # /v1/search response body stays byte-identical to this output
+        from repro.serve.payloads import dumps, search_payload
+
+        payload = search_payload(
+            scenario=args.scenario,
+            params=params,
+            budget=args.budget,
+            verdict=verdict,
+            deadlock_reachable=res.deadlock_reachable,
+            states_explored=res.states_explored,
+            certificate=res.certificate,
+            witness_cycles=(
                 None if res.witness is None else res.witness.num_cycles
             ),
-        }
-        print(_json.dumps(payload, indent=2))
+        )
+        print(dumps(payload))
         return 0
 
     rows = {
@@ -424,10 +433,10 @@ def _default_ledger(cache_dir: str, spec: str) -> str:
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign import (
         ProgressReporter,
-        ResultCache,
         RunLedger,
         RunnerConfig,
         build_spec,
+        make_backend,
         run_campaign,
     )
     from repro.experiments import render_kv
@@ -446,11 +455,15 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             retries=args.retries,
             search_jobs=args.search_jobs,
         )
+        cache = (
+            None
+            if args.no_cache
+            else make_backend(args.cache_backend, default_dir=args.cache_dir)
+        )
     except (KeyError, ValueError) as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
     spec_label = args.spec if shard is None else f"{args.spec}-shard{shard[0]}of{shard[1]}"
     ledger_path = args.ledger or _default_ledger(args.cache_dir, spec_label)
     with RunLedger(ledger_path) as ledger:
@@ -465,7 +478,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     rows = summary.rows()
     rows["ledger"] = ledger_path
     if cache is not None:
-        rows["cache dir"] = args.cache_dir
+        rows["cache"] = args.cache_backend or args.cache_dir
         rows["cache hit rate"] = f"{cache.stats.hit_rate:.0%}"
     print(render_kv(rows, title=f"campaign: {spec_label}"))
     for mismatch in summary.expect_mismatches:
@@ -474,18 +487,29 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json as _json
     from pathlib import Path
 
-    from repro.campaign import ResultCache, read_ledger
+    from repro.campaign import make_backend, read_ledger
     from repro.experiments import render_kv, render_table
 
-    cache = ResultCache(args.cache_dir)
-    print(render_kv(
-        {"cache dir": args.cache_dir, "cached results": len(cache)},
-        title="campaign cache",
-    ))
+    # the primary backend (the --cache-dir directory store unless
+    # --cache-backend points elsewhere) plus any extra --cache-backend
+    # specs, each integrity-scanned for corrupt / stale-salt entries
+    backend_specs = list(args.cache_backend or [args.cache_dir])
+    try:
+        backends = [
+            (spec, make_backend(spec, default_dir=args.cache_dir))
+            for spec in backend_specs
+        ]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = backends[0][1]
+
     ledger_dir = Path(args.cache_dir) / "ledgers"
     rows = []
+    ledgers_json = []
     merged: dict[str, bool] = {}  # task_hash -> ok of latest execution
     tele_counters: dict[str, float] = {}
     tele_tasks = 0
@@ -513,12 +537,76 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                 ),
             }
         )
+        ledgers_json.append(
+            {
+                "ledger": path.name,
+                "results": len(results),
+                "distinct_tasks": len({r.task_hash for r in results}),
+                "runs": len(summaries),
+            }
+        )
+    ok = sum(1 for good in merged.values() if good)
+
+    if args.json:
+        scans = [(spec, be, be.integrity()) for spec, be in backends]
+        payload = {
+            "cache_dir": args.cache_dir,
+            "backends": [
+                {
+                    "spec": spec,
+                    "backend": type(be).__name__,
+                    "entries": len(be),
+                    "integrity": report.to_json(),
+                }
+                for spec, be, report in scans
+            ],
+            "ledgers": ledgers_json,
+            "merged": {
+                "distinct_tasks": len(merged),
+                "ok": ok,
+                "failed": len(merged) - ok,
+            },
+            "telemetry_rollup": {
+                "tasks": tele_tasks,
+                "counters": {
+                    k: round(tele_counters[k], 6) for k in sorted(tele_counters)
+                },
+            },
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0 if all(report.healthy for _, _, report in scans) else 1
+
+    integrity = cache.integrity()
+    print(render_kv(
+        {
+            "cache": backend_specs[0],
+            "backend": type(cache).__name__,
+            "cached results": len(cache),
+            "schema salt": integrity.salt,
+            "corrupt": integrity.corrupt,
+            "stale salt": integrity.stale_salt,
+        },
+        title="campaign cache",
+    ))
+    for spec, be in backends[1:]:
+        extra = be.integrity()
+        print()
+        print(render_kv(
+            {
+                "cache": spec,
+                "backend": type(be).__name__,
+                "cached results": len(be),
+                "schema salt": extra.salt,
+                "corrupt": extra.corrupt,
+                "stale salt": extra.stale_salt,
+            },
+            title="extra cache backend",
+        ))
     print()
     print(render_table(rows, title="campaign ledgers"))
     if rows:
         # the union view is how sharded runs (--shard i/n) are merged:
         # shards share the cache and write disjoint hash-keyed ledgers
-        ok = sum(1 for good in merged.values() if good)
         print()
         print(render_kv(
             {"distinct tasks": len(merged), "ok": ok, "failed": len(merged) - ok},
@@ -683,6 +771,121 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"{errors} error-severity finding(s)"
             )
     return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            cache_backend=args.cache_backend,
+            hot_capacity=args.hot_capacity,
+            window=args.window_ms / 1000.0,
+            jobs=args.jobs,
+            search_jobs=args.search_jobs,
+            retries=args.retries,
+            task_timeout=args.timeout,
+            spec=args.spec,
+            shards=args.shards,
+            ledger=args.ledger,
+            telemetry=not args.no_telemetry,
+        )
+        server = ReproServer(config)
+    except (KeyError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server.run(announce=print)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient, ServeError, run_worker
+
+    cmd = args.client_command
+    try:
+        if cmd == "worker":
+            cache = None
+            if args.cache_backend:
+                from repro.campaign import make_backend
+
+                cache = make_backend(args.cache_backend)
+            out = run_worker(
+                args.url,
+                worker_id=args.worker_id,
+                jobs=args.jobs,
+                search_jobs=args.search_jobs,
+                limit=args.limit,
+                cache=cache,
+            )
+            print(_json.dumps(out, indent=2))
+            return 0 if out["summary"]["failed"] == 0 else 1
+
+        client = ServeClient(args.url, timeout=args.http_timeout)
+        if cmd in ("search", "classify", "lint"):
+            try:
+                params = _json.loads(args.params)
+            except _json.JSONDecodeError as exc:
+                print(f"client: --params is not valid JSON: {exc}", file=sys.stderr)
+                return 2
+            if cmd == "search":
+                knobs = {"budget": args.budget, "max_states": args.max_states}
+            elif cmd == "classify":
+                knobs = {
+                    "budget": args.budget,
+                    "max_states": args.max_states,
+                    "length_slack": args.length_slack,
+                    "extra_copies": args.extra_copies,
+                }
+            else:
+                knobs = {"max_cycles": args.max_cycles}
+            resp = getattr(client, cmd)(args.scenario, params, **knobs)
+            if not resp.ok:
+                detail = (
+                    resp.payload.get("error", "")
+                    if isinstance(resp.payload, dict)
+                    else ""
+                )
+                print(f"client {cmd}: HTTP {resp.status}: {detail}", file=sys.stderr)
+                return 1 if resp.status >= 500 else 2
+            # the raw response body: byte-identical to `repro <cmd> --json`
+            sys.stdout.write(resp.body.decode("utf-8"))
+            if args.show_source:
+                print(f"source: {resp.source} ({resp.task_hash})", file=sys.stderr)
+            return 0
+        if cmd == "campaign":
+            resp = client.campaign(
+                args.spec, limit=args.limit, shard=args.shard
+            ).raise_for_status()
+            print(_json.dumps(resp.payload, indent=2))
+            return 0 if resp.payload.get("failed", 0) == 0 else 1
+        if cmd == "status":
+            resp = client.status().raise_for_status()
+            print(_json.dumps(resp.payload, indent=2))
+            return 0
+        if cmd == "events":
+            for event in client.events(
+                max_events=args.max_events, timeout=args.listen
+            ):
+                print(_json.dumps(event, sort_keys=True))
+            return 0
+    except ServeError as exc:
+        print(f"client {cmd}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"client {cmd}: cannot reach {args.url}: {exc} "
+            "(is `python -m repro serve` running?)",
+            file=sys.stderr,
+        )
+        return 1
+    return 2  # pragma: no cover - argparse restricts choices
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -878,6 +1081,136 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
+        "serve",
+        help="verification-as-a-service: async HTTP/JSON API over the campaign "
+        "runner (see docs/SERVE.md)",
+        description="Start a long-lived HTTP server answering /v1/search, "
+        "/v1/classify, /v1/lint and /v1/campaign from a tiered result cache, "
+        "micro-batching cold misses through the campaign runner.  /v1/events "
+        "streams live telemetry as NDJSON; with --shards N the server also "
+        "coordinates a fleet of `repro client worker` processes.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 = OS-assigned)"
+    )
+    p.add_argument(
+        "--cache-backend", default=None, metavar="SPEC",
+        help="durable cache tier: dir:PATH, sqlite:PATH, memory[:N], or a bare "
+        "directory path (default: dir:.campaign-cache)",
+    )
+    p.add_argument(
+        "--hot-capacity", type=int, default=1024, metavar="N",
+        help="entries held by the in-memory hot tier (0 disables tiering; "
+        "default 1024)",
+    )
+    p.add_argument(
+        "--window-ms", type=float, default=20.0, metavar="MS",
+        help="micro-batching window: concurrent cold misses arriving within "
+        "this window run as one campaign batch (default 20ms)",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="campaign worker processes")
+    p.add_argument(
+        "--retries", type=int, default=0, help="retries per failed task (default 0)"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, help="per-task wall-clock timeout (s)"
+    )
+    p.add_argument(
+        "--spec", default="paper-battery",
+        help="spec handed to coordinator workers (default: paper-battery)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="enable the shard coordinator with N hash-range shards "
+        "(default 0: disabled)",
+    )
+    p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="merged JSONL ledger for coordinator worker reports",
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the telemetry collector (and the /v1/events stream)",
+    )
+    add_search_jobs_flag(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve` instance",
+        description="Query a serve instance: task verdicts (byte-identical "
+        "to the local --json commands), campaign runs, status, the telemetry "
+        "event stream, or a full coordinator worker round trip.",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="server base URL"
+    )
+    p.add_argument(
+        "--http-timeout", type=float, default=300.0,
+        help="per-request timeout in seconds (default 300)",
+    )
+    ksub = p.add_subparsers(dest="client_command", required=True)
+
+    def add_client_scenario_args(kp: argparse.ArgumentParser) -> None:
+        kp.add_argument("scenario", help="registered scenario name")
+        kp.add_argument(
+            "--params", default="{}", help="scenario parameters as a JSON object"
+        )
+        kp.add_argument(
+            "--show-source", action="store_true",
+            help="print the X-Repro-Source provenance header to stderr",
+        )
+        kp.set_defaults(fn=_cmd_client)
+
+    kp = ksub.add_parser("search", help="POST /v1/search")
+    add_client_scenario_args(kp)
+    kp.add_argument("--budget", type=int, default=0)
+    kp.add_argument("--max-states", type=int, default=4_000_000)
+
+    kp = ksub.add_parser("classify", help="POST /v1/classify")
+    add_client_scenario_args(kp)
+    kp.add_argument("--budget", type=int, default=0)
+    kp.add_argument("--max-states", type=int, default=2_000_000)
+    kp.add_argument("--length-slack", type=int, default=0)
+    kp.add_argument("--extra-copies", type=int, default=1)
+
+    kp = ksub.add_parser("lint", help="POST /v1/lint")
+    add_client_scenario_args(kp)
+    kp.add_argument("--max-cycles", type=int, default=10_000)
+
+    kp = ksub.add_parser("campaign", help="POST /v1/campaign (run a whole spec)")
+    kp.add_argument("--spec", default="quick")
+    kp.add_argument("--limit", type=int, default=None)
+    kp.add_argument("--shard", default=None, metavar="I/N")
+    kp.set_defaults(fn=_cmd_client)
+
+    kp = ksub.add_parser("status", help="GET /v1/status")
+    kp.set_defaults(fn=_cmd_client)
+
+    kp = ksub.add_parser("events", help="GET /v1/events (stream telemetry NDJSON)")
+    kp.add_argument("--max-events", type=int, default=50)
+    kp.add_argument(
+        "--listen", type=float, default=5.0, metavar="S",
+        help="stop after this many seconds (default 5)",
+    )
+    kp.set_defaults(fn=_cmd_client)
+
+    kp = ksub.add_parser(
+        "worker",
+        help="register with the coordinator, run the assigned shard, report back",
+    )
+    kp.add_argument("--worker-id", default=None)
+    kp.add_argument("--jobs", type=int, default=1)
+    kp.add_argument("--limit", type=int, default=None)
+    kp.add_argument(
+        "--cache-backend", default=None, metavar="SPEC",
+        help="local cache for shard execution (dir:/sqlite:/memory[:N])",
+    )
+    add_search_jobs_flag(kp)
+    kp.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
         "campaign", help="parallel verification campaigns (run/status/clean)"
     )
     csub = p.add_subparsers(dest="campaign_command", required=True)
@@ -889,6 +1222,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("--jobs", type=int, default=1, help="worker processes")
     pr.add_argument("--cache-dir", default=".campaign-cache")
+    pr.add_argument(
+        "--cache-backend", default=None, metavar="SPEC",
+        help="cache backend spec: dir:PATH, sqlite:PATH (shareable between "
+        "processes), memory[:N], or a bare path (default: the --cache-dir "
+        "directory store)",
+    )
     pr.add_argument("--no-cache", action="store_true", help="force live re-verification")
     pr.add_argument(
         "--ledger", default=None,
@@ -931,8 +1270,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pt.set_defaults(fn=_cmd_campaign_trend)
 
-    ps = csub.add_parser("status", help="summarise cache + ledgers")
+    ps = csub.add_parser(
+        "status",
+        help="summarise cache + ledgers (with per-backend integrity)",
+        description="Report cache contents, per-backend integrity scans "
+        "(corrupt entries, stale schema salts), per-ledger run history and "
+        "the merged cross-shard union.  --json exits 1 if any scanned "
+        "backend is unhealthy.",
+    )
     ps.add_argument("--cache-dir", default=".campaign-cache")
+    ps.add_argument(
+        "--cache-backend", action="append", default=None, metavar="SPEC",
+        help="backend(s) to inspect instead of the --cache-dir store; "
+        "repeat to integrity-scan several (dir:/sqlite:/memory[:N])",
+    )
+    ps.add_argument("--json", action="store_true", help="machine-readable output")
     ps.set_defaults(fn=_cmd_campaign_status)
 
     pc = csub.add_parser("clean", help="drop cached results")

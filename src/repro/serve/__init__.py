@@ -1,0 +1,59 @@
+"""Verification-as-a-service: the ``repro serve`` subsystem.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.payloads` -- the canonical verdict payload builders
+  shared with the CLI (the byte-identity contract);
+* :mod:`repro.serve.batcher` -- micro-batching + in-flight dedup in
+  front of :func:`~repro.campaign.runner.run_campaign`;
+* :mod:`repro.serve.coordinator` -- shard assignment and ledger merging
+  for worker fleets;
+* :mod:`repro.serve.server` -- the asyncio HTTP/JSON front
+  (``python -m repro serve``);
+* :mod:`repro.serve.client` -- the stdlib client (``python -m repro
+  client``) and the fleet-worker loop.
+
+Cache backends themselves (directory / memory LRU / sqlite / tiered)
+live in :mod:`repro.campaign.cache`; the server composes them via
+``make_backend`` + :class:`~repro.campaign.cache.TieredCache`.
+
+See ``docs/SERVE.md`` for the API reference and operational model.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.client import (
+    ServeClient,
+    ServeError,
+    ServeResponse,
+    default_worker_id,
+    run_worker,
+)
+from repro.serve.coordinator import ShardCoordinator, WorkerSlot
+from repro.serve.payloads import (
+    classify_payload_from_result,
+    dumps,
+    lint_payload_from_result,
+    search_payload,
+    search_payload_from_result,
+)
+from repro.serve.server import ApiError, ReproServer, ServeConfig
+
+__all__ = [
+    "ApiError",
+    "BatcherStats",
+    "MicroBatcher",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeResponse",
+    "ShardCoordinator",
+    "WorkerSlot",
+    "classify_payload_from_result",
+    "default_worker_id",
+    "dumps",
+    "lint_payload_from_result",
+    "run_worker",
+    "search_payload",
+    "search_payload_from_result",
+]

@@ -1,0 +1,158 @@
+"""Micro-batching and in-flight dedup in front of the campaign runner.
+
+The serve hot path has three outcomes, fastest first:
+
+1. **cache hit** -- answered synchronously on the event loop (the
+   backend read is microseconds for the memory tier, sub-millisecond
+   for sqlite/directory), never waiting out the batch window;
+2. **in-flight dedup** -- an identical task is already queued or
+   executing: the request awaits the same future, so N concurrent
+   identical cold queries run the underlying task exactly once;
+3. **batched execution** -- a genuine cold miss joins the current
+   window; when the window closes the whole batch runs as *one*
+   :func:`~repro.campaign.runner.run_campaign` call in a worker thread
+   (inheriting its dedup/retry/cache/telemetry machinery), and every
+   waiter's future resolves with its task's result.
+
+The executor is expected to be single-lane (the server passes a
+1-thread pool): overlapping flushes then serialise, which keeps at most
+one process pool alive and lets the next window accumulate while the
+previous batch runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+
+from repro.campaign.cache import CacheBackend
+from repro.campaign.runner import RunnerConfig, run_campaign
+from repro.campaign.tasks import CampaignTask, TaskResult
+
+#: how a submit was answered (also the span attr / response header value)
+SOURCE_CACHE = "cache"
+SOURCE_INFLIGHT = "inflight"
+SOURCE_LIVE = "live"
+
+
+@dataclass
+class BatcherStats:
+    submitted: int = 0
+    cache_hits: int = 0
+    inflight_hits: int = 0
+    batches: int = 0
+    batched_tasks: int = 0
+    executed_live: int = 0
+    failures: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "inflight_hits": self.inflight_hits,
+            "batches": self.batches,
+            "batched_tasks": self.batched_tasks,
+            "executed_live": self.executed_live,
+            "failures": self.failures,
+        }
+
+
+class MicroBatcher:
+    """Collects concurrent cache misses into one campaign wave.
+
+    Single event loop only; construct it from within the loop that will
+    call :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: CacheBackend | None,
+        config: RunnerConfig | None = None,
+        window: float = 0.02,
+        executor: Executor | None = None,
+        spec_name: str = "serve",
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.cache = cache
+        self.config = config or RunnerConfig(retries=0)
+        self.window = window
+        self.executor = executor
+        self.spec_name = spec_name
+        self.stats = BatcherStats()
+        self._pending: dict[str, asyncio.Future[TaskResult]] = {}
+        self._queue: list[CampaignTask] = []
+        self._flush_scheduled = False
+
+    @property
+    def inflight(self) -> int:
+        """Tasks queued or executing right now."""
+        return len(self._pending)
+
+    async def submit(self, task: CampaignTask) -> tuple[TaskResult, str]:
+        """Answer one task; returns ``(result, source)``.
+
+        ``source`` is one of :data:`SOURCE_CACHE` (answered from the
+        backend without executing), :data:`SOURCE_INFLIGHT` (shared an
+        execution already underway), or :data:`SOURCE_LIVE` (this call
+        put the task into a batch).
+        """
+        self.stats.submitted += 1
+        if self.cache is not None:
+            hit = self.cache.get(task)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit, SOURCE_CACHE
+
+        fut = self._pending.get(task.task_hash)
+        if fut is not None:
+            self.stats.inflight_hits += 1
+            # shield: one waiter's cancellation must not kill the shared run
+            return await asyncio.shield(fut), SOURCE_INFLIGHT
+
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._pending[task.task_hash] = fut
+        self._queue.append(task)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_later(
+                self.window, lambda: asyncio.ensure_future(self._flush())
+            )
+        return await asyncio.shield(fut), SOURCE_LIVE
+
+    async def _flush(self) -> None:
+        self._flush_scheduled = False
+        batch, self._queue = self._queue, []
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.batched_tasks += len(batch)
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self.executor, self._run_batch, batch
+            )
+        except Exception as exc:  # noqa: BLE001 - infra failure -> every waiter
+            for task in batch:
+                fut = self._pending.pop(task.task_hash, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(exc)
+            return
+        # run_campaign returns unique-task-order results; the batch is
+        # already unique by hash (dupes were deduped via _pending above)
+        for task, result in zip(batch, results):
+            if not result.ok:
+                self.stats.failures += 1
+            fut = self._pending.pop(task.task_hash, None)
+            if fut is not None and not fut.done():
+                fut.set_result(result)
+
+    def _run_batch(self, batch: list[CampaignTask]) -> list[TaskResult]:
+        results, summary = run_campaign(
+            batch, cache=self.cache, config=self.config, spec_name=self.spec_name
+        )
+        self.stats.executed_live += summary.live
+        return results

@@ -1,0 +1,183 @@
+"""Shard coordinator: hand out ``--shard i/n`` ranges, merge worker ledgers.
+
+``campaign run --shard i/n`` has always made fan-out *possible* --
+hash-range shards are disjoint and content-stable -- but every operator
+had to pick indices by hand and union the ledgers afterwards.  The
+coordinator closes that loop for a fleet of workers:
+
+* **register**: a worker announces itself and receives a deterministic
+  assignment ``{spec, shard: "i/n"}``.  Shards are handed out
+  least-loaded-first, so N workers on an N-shard spec cover it exactly
+  once, extra workers double up on the least-covered shard (harmless:
+  task execution is idempotent and cached), and re-registering the same
+  worker id returns the same assignment (crash-restart safe).
+* **report**: the worker posts its ``(task, result)`` pairs.  The
+  coordinator folds them into the merged ledger, the shared cache
+  (live successes only -- cache hits were already there), and the
+  distinct-task union that mirrors ``campaign status``'s merged view.
+* **status**: which shards are covered, who reported, and the union's
+  ok/failed counts.
+
+The coordinator is plain synchronous code guarded by one lock; the
+serve layer calls it from request handlers, tests call it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.cache import CacheBackend
+from repro.campaign.ledger import RunLedger
+from repro.campaign.tasks import CampaignTask, TaskResult
+
+
+@dataclass
+class WorkerSlot:
+    """One registered worker and what it has contributed."""
+
+    worker_id: str
+    shard_index: int
+    registered_at: float
+    reported_at: float | None = None
+    results: int = 0
+    ok: int = 0
+    failed: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker_id,
+            "shard_index": self.shard_index,
+            "registered_at": round(self.registered_at, 3),
+            "reported_at": (
+                None if self.reported_at is None else round(self.reported_at, 3)
+            ),
+            "results": self.results,
+            "ok": self.ok,
+            "failed": self.failed,
+        }
+
+
+class ShardCoordinator:
+    """Assigns shard ranges to workers and merges what they bring back."""
+
+    def __init__(
+        self,
+        *,
+        spec: str,
+        shards: int,
+        cache: CacheBackend | None = None,
+        ledger_path: str | Path | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.spec = spec
+        self.shards = shards
+        self.cache = cache
+        self._ledger = None if ledger_path is None else RunLedger(ledger_path)
+        self.ledger_path = None if ledger_path is None else str(ledger_path)
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerSlot] = {}
+        self._merged: dict[str, bool] = {}  # task_hash -> ok of latest report
+
+    def _next_index(self) -> int:
+        counts = Counter(slot.shard_index for slot in self._workers.values())
+        return min(range(1, self.shards + 1), key=lambda i: (counts.get(i, 0), i))
+
+    def register(self, worker_id: str) -> dict[str, Any]:
+        """Assign (or re-issue) a shard; the reply is the work order."""
+        if not worker_id or not isinstance(worker_id, str):
+            raise ValueError("worker_id must be a non-empty string")
+        with self._lock:
+            slot = self._workers.get(worker_id)
+            if slot is None:
+                slot = WorkerSlot(
+                    worker_id=worker_id,
+                    shard_index=self._next_index(),
+                    registered_at=time.time(),
+                )
+                self._workers[worker_id] = slot
+            return {
+                "worker": worker_id,
+                "spec": self.spec,
+                "shard": f"{slot.shard_index}/{self.shards}",
+            }
+
+    def report(self, worker_id: str, entries: list[dict[str, Any]]) -> dict[str, Any]:
+        """Merge one worker's ``[{"task": ..., "result": ...}]`` batch.
+
+        Each entry's task hash is cross-checked against its result (a
+        worker on a diverged schema must fail loudly, not poison the
+        shared cache), then recorded in the merged ledger and -- for
+        live successes -- written through to the shared cache.
+        """
+        with self._lock:
+            slot = self._workers.get(worker_id)
+            if slot is None:
+                raise KeyError(f"unregistered worker {worker_id!r}; register first")
+            merged = 0
+            for entry in entries:
+                result = TaskResult.from_json(entry["result"])
+                task = (
+                    CampaignTask.from_json(entry["task"])
+                    if entry.get("task")
+                    else None
+                )
+                if task is not None and task.task_hash != result.task_hash:
+                    raise ValueError(
+                        f"task/result hash mismatch from {worker_id!r}: "
+                        f"{task.task_hash[:12]} != {result.task_hash[:12]} "
+                        "(schema drift between worker and coordinator?)"
+                    )
+                self._merged[result.task_hash] = result.ok
+                slot.results += 1
+                if result.ok:
+                    slot.ok += 1
+                else:
+                    slot.failed += 1
+                if self._ledger is not None:
+                    self._ledger.record(result)
+                if (
+                    self.cache is not None
+                    and task is not None
+                    and result.source == "live"
+                ):
+                    self.cache.put(task, result)
+                merged += 1
+            slot.reported_at = time.time()
+            return {
+                "worker": worker_id,
+                "merged": merged,
+                "distinct_tasks": len(self._merged),
+            }
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            assigned = sorted({s.shard_index for s in self._workers.values()})
+            ok = sum(1 for good in self._merged.values() if good)
+            return {
+                "spec": self.spec,
+                "shards": self.shards,
+                "assigned_shards": assigned,
+                "unassigned_shards": [
+                    i for i in range(1, self.shards + 1) if i not in assigned
+                ],
+                "workers": [
+                    slot.to_json()
+                    for slot in sorted(
+                        self._workers.values(), key=lambda s: s.registered_at
+                    )
+                ],
+                "distinct_tasks": len(self._merged),
+                "ok": ok,
+                "failed": len(self._merged) - ok,
+                "ledger": self.ledger_path,
+            }
+
+    def close(self) -> None:
+        if self._ledger is not None:
+            self._ledger.close()

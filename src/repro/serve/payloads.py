@@ -1,0 +1,119 @@
+"""Canonical verdict payloads shared by the CLI and the serve API.
+
+The acceptance contract for verification-as-a-service is that a cold
+``/v1/search`` response and ``python -m repro search ... --json`` are
+*byte-identical*: same keys, same order, same serialisation.  The only
+way to keep that true under refactors is for both callers to build the
+payload through one function -- these.
+
+All builders return plain ordered dicts; :func:`dumps` is the one
+serialisation (``json.dumps(..., indent=2)``) both the CLI printer and
+the HTTP response writer use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.campaign.tasks import TaskResult
+
+
+def dumps(payload: Any) -> str:
+    """The shared wire/stdout serialisation (no trailing newline)."""
+    return json.dumps(payload, indent=2)
+
+
+def search_payload(
+    *,
+    scenario: str,
+    params: dict[str, Any],
+    budget: int,
+    verdict: str,
+    deadlock_reachable: bool,
+    states_explored: int | None,
+    certificate: str | None,
+    witness_cycles: int | None,
+) -> dict[str, Any]:
+    """The ``search --json`` payload (field order is part of the contract)."""
+    return {
+        "scenario": scenario,
+        "params": params,
+        "budget": budget,
+        "verdict": verdict,
+        "deadlock_reachable": deadlock_reachable,
+        "states_explored": states_explored,
+        "certificate": certificate,
+        "witness_cycles": witness_cycles,
+    }
+
+
+def search_payload_from_result(
+    result: TaskResult, *, params: dict[str, Any], budget: int
+) -> dict[str, Any]:
+    """Rebuild the CLI search payload from a campaign ``reachability`` result.
+
+    The campaign runner never reconstructs witnesses (``find_witness``
+    stays off so cached verdicts are engine-independent), matching the
+    CLI's default ``--witness`` off: ``witness_cycles`` is ``null`` on
+    both sides.
+    """
+    return search_payload(
+        scenario=result.scenario,
+        params=params,
+        budget=budget,
+        verdict=result.verdict,
+        deadlock_reachable=result.verdict == "deadlock",
+        states_explored=result.detail.get("states_explored"),
+        certificate=result.detail.get("certificate"),
+        witness_cycles=None,
+    )
+
+
+def classify_payload_from_result(
+    result: TaskResult, *, params: dict[str, Any]
+) -> dict[str, Any]:
+    """The ``/v1/classify`` payload, mirroring the CLI's two modes.
+
+    Cycle-mode results carry ``tilings_tested``/``scenarios_tested``;
+    configuration-mode results carry ``states_explored``.  The verdict
+    vocabulary is the campaign's (``deadlock`` / ``unreachable``).
+    """
+    detail = result.detail
+    if "tilings_tested" in detail:
+        return {
+            "scenario": result.scenario,
+            "params": params,
+            "mode": "cycle",
+            "verdict": result.verdict,
+            "deadlock_reachable": result.verdict == "deadlock",
+            "tilings_tested": detail.get("tilings_tested"),
+            "scenarios_tested": detail.get("scenarios_tested"),
+            "certificate": detail.get("certificate"),
+        }
+    return {
+        "scenario": result.scenario,
+        "params": params,
+        "mode": "configuration",
+        "verdict": result.verdict,
+        "deadlock_reachable": result.verdict == "deadlock",
+        "states_explored": detail.get("states_explored"),
+        "certificate": detail.get("certificate"),
+    }
+
+
+def lint_payload_from_result(
+    result: TaskResult, *, params: dict[str, Any]
+) -> dict[str, Any]:
+    """The ``/v1/lint`` payload from a campaign ``lint`` result."""
+    detail = result.detail
+    return {
+        "scenario": result.scenario,
+        "params": params,
+        "verdict": result.verdict,
+        "certificate": detail.get("certificate"),
+        "max_severity": detail.get("max_severity"),
+        "diagnostics": detail.get("diagnostics"),
+        "errors": detail.get("errors"),
+        "rules_run": detail.get("rules_run"),
+    }

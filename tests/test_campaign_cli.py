@@ -114,3 +114,51 @@ def test_adapter_fig3_sweep_agreement(tmp_path):
     assert via.total == direct.total == 4
     assert via.agree == direct.agree
     assert via.disagreements == direct.disagreements
+
+
+def test_campaign_status_json_reports_backend_integrity(tmp_path, capsys):
+    import json
+
+    cache_dir = str(tmp_path / "cache")
+    assert main(["campaign", "run", "--spec", "quick", "--limit", "3",
+                 "--jobs", "1", "--cache-dir", cache_dir, "--no-progress"]) == 0
+    capsys.readouterr()
+
+    assert main(["campaign", "status", "--cache-dir", cache_dir, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (backend,) = payload["backends"]
+    assert backend["backend"] == "ResultCache"
+    assert backend["entries"] == 3
+    assert backend["integrity"]["healthy"] is True
+    assert backend["integrity"]["corrupt"] == 0
+    assert payload["merged"] == {"distinct_tasks": 3, "ok": 3, "failed": 0}
+
+    # corrupt one entry on disk: exit code flips and the scan reports it
+    (victim,) = sorted((tmp_path / "cache").glob("*/*.json"))[:1]
+    victim.write_text("{broken", encoding="utf-8")
+    assert main(["campaign", "status", "--cache-dir", cache_dir, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backends"][0]["integrity"]["corrupt"] == 1
+    assert payload["backends"][0]["integrity"]["healthy"] is False
+
+
+def test_campaign_status_extra_backend_and_run_backend_flag(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    db = str(tmp_path / "shared.db")
+    assert main(["campaign", "run", "--spec", "quick", "--limit", "2",
+                 "--jobs", "1", "--cache-dir", cache_dir,
+                 "--cache-backend", f"sqlite:{db}", "--no-progress"]) == 0
+    capsys.readouterr()
+
+    assert main(["campaign", "status", "--cache-dir", cache_dir,
+                 "--cache-backend", f"sqlite:{db}", "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    (backend,) = payload["backends"]
+    assert backend["backend"] == "SqliteCache"
+    assert backend["entries"] == 2
+
+    assert main(["campaign", "status", "--cache-dir", cache_dir,
+                 "--cache-backend", "sqlite:"]) == 2
+    assert "sqlite backend needs a path" in capsys.readouterr().err

@@ -109,3 +109,41 @@ def test_result_round_trip_and_schema_version():
     assert clone.verdict == res.verdict
     assert clone.detail["acyclic"] is True
     assert isinstance(SCHEMA_VERSION, int)
+
+
+def test_parse_shard_accepts_valid_selectors():
+    from repro.campaign.tasks import parse_shard
+
+    assert parse_shard("1/4") == (1, 4)
+    assert parse_shard("4/4") == (4, 4)
+    assert parse_shard(" 2 / 3 ") == (2, 3)
+
+
+def test_parse_shard_rejects_bad_selectors():
+    from repro.campaign.tasks import parse_shard
+
+    with pytest.raises(ValueError, match="1-based"):
+        parse_shard("0/4")
+    with pytest.raises(ValueError, match="exceeds shard count"):
+        parse_shard("5/4")
+    with pytest.raises(ValueError, match="two integers"):
+        parse_shard("x/4")
+    with pytest.raises(ValueError, match="positive integer"):
+        parse_shard("1/0")
+    with pytest.raises(ValueError, match="positive integer"):
+        parse_shard("1/-2")
+    with pytest.raises(ValueError, match="look like 'i/n'"):
+        parse_shard("1-4")
+
+
+def test_shard_tasks_partition_is_disjoint_and_complete():
+    from repro.campaign.tasks import shard_tasks
+
+    tasks = [
+        CampaignTask.make("reachability", "fig2-pair", d1=1, d2=1, hold=h)
+        for h in range(2, 12)
+    ]
+    shards = [shard_tasks(tasks, index, 3) for index in (1, 2, 3)]
+    merged = [t.task_hash for shard in shards for t in shard]
+    assert sorted(merged) == sorted(t.task_hash for t in tasks)
+    assert len(set(merged)) == len(tasks)

@@ -1,0 +1,161 @@
+"""MicroBatcher: window batching, in-flight dedup, cache fast path."""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.campaign.cache import MemoryLRUCache
+from repro.campaign.tasks import CampaignTask
+from repro.serve.batcher import (
+    SOURCE_CACHE,
+    SOURCE_INFLIGHT,
+    SOURCE_LIVE,
+    MicroBatcher,
+)
+
+
+def _task(tag, seconds=0.0):
+    """Distinct cheap tasks via the debug-sleep scenario (tag only
+    differentiates the content hash)."""
+    return CampaignTask.make(
+        "reachability", "debug-sleep", seconds=seconds, tag=str(tag)
+    )
+
+
+@pytest.fixture()
+def executor():
+    pool = ThreadPoolExecutor(max_workers=1)
+    yield pool
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def test_window_collects_concurrent_misses_into_one_batch(executor):
+    async def run():
+        batcher = MicroBatcher(
+            cache=MemoryLRUCache(64), window=0.05, executor=executor
+        )
+        results = await asyncio.gather(
+            *(batcher.submit(_task(i)) for i in range(4))
+        )
+        return batcher, results
+
+    batcher, results = asyncio.run(run())
+    assert batcher.stats.batches == 1
+    assert batcher.stats.batched_tasks == 4
+    assert batcher.stats.executed_live == 4
+    assert all(source == SOURCE_LIVE for _, source in results)
+    assert all(result.ok for result, _ in results)
+
+
+def test_identical_concurrent_submits_execute_exactly_once(executor):
+    async def run():
+        batcher = MicroBatcher(
+            cache=MemoryLRUCache(64), window=0.02, executor=executor
+        )
+        task = _task("shared", seconds=0.1)
+        results = await asyncio.gather(*(batcher.submit(task) for _ in range(6)))
+        return batcher, results
+
+    batcher, results = asyncio.run(run())
+    sources = [source for _, source in results]
+    assert sources.count(SOURCE_LIVE) == 1
+    assert sources.count(SOURCE_INFLIGHT) == 5
+    assert batcher.stats.executed_live == 1  # the dedup guarantee
+    verdicts = {result.verdict for result, _ in results}
+    assert verdicts == {"unreachable"}
+    assert batcher.inflight == 0
+
+
+def test_cache_hit_answers_without_waiting_the_window(executor):
+    async def run():
+        batcher = MicroBatcher(
+            cache=MemoryLRUCache(64), window=0.5, executor=executor
+        )
+        task = _task("warm")
+        await batcher.submit(task)  # cold: pays the window + execution
+        t0 = time.perf_counter()
+        result, source = await batcher.submit(task)
+        return batcher, source, time.perf_counter() - t0, result
+
+    batcher, source, elapsed, result = asyncio.run(run())
+    assert source == SOURCE_CACHE
+    assert elapsed < 0.25  # far below the 0.5s window: never queued
+    assert result.source == "cache"
+    assert batcher.stats.cache_hits == 1
+
+
+def test_task_failures_are_results_not_exceptions(executor, tmp_path):
+    """A failing task resolves every waiter with ok=False (the campaign
+    contract) rather than raising."""
+    token_dir = tmp_path / "tokens"
+    token_dir.mkdir()
+
+    async def run():
+        batcher = MicroBatcher(
+            cache=MemoryLRUCache(64), window=0.01, executor=executor
+        )
+        task = CampaignTask.make(
+            "reachability",
+            "debug-flaky",
+            token_dir=str(token_dir),
+            fail_times=99,
+        )
+        result, source = await batcher.submit(task)
+        return batcher, result, source
+
+    batcher, result, source = asyncio.run(run())
+    assert source == SOURCE_LIVE
+    assert not result.ok
+    assert "flaky failure" in (result.error or "")
+    assert batcher.stats.failures == 1
+
+
+def test_infra_failure_rejects_every_waiter(executor):
+    async def run():
+        batcher = MicroBatcher(
+            cache=MemoryLRUCache(64), window=0.02, executor=executor
+        )
+        batcher._run_batch = lambda batch: (_ for _ in ()).throw(
+            RuntimeError("executor died")
+        )
+        waits = [
+            asyncio.ensure_future(batcher.submit(_task(f"boom{i}")))
+            for i in range(3)
+        ]
+        outcomes = await asyncio.gather(*waits, return_exceptions=True)
+        return batcher, outcomes
+
+    batcher, outcomes = asyncio.run(run())
+    assert all(isinstance(o, RuntimeError) for o in outcomes)
+    assert batcher.inflight == 0  # nothing leaks for future submits
+
+
+def test_failed_results_are_not_cached(executor, tmp_path):
+    """ok=False never enters the cache, so the next submit retries live."""
+    token_dir = tmp_path / "tokens"
+    token_dir.mkdir()
+    cache = MemoryLRUCache(64)
+
+    async def run():
+        batcher = MicroBatcher(cache=cache, window=0.01, executor=executor)
+        task = CampaignTask.make(
+            "reachability",
+            "debug-flaky",
+            token_dir=str(token_dir),
+            fail_times=1,
+        )
+        first, _ = await batcher.submit(task)
+        second, source = await batcher.submit(task)  # attempt #2 succeeds
+        return first, second, source
+
+    first, second, source = asyncio.run(run())
+    assert not first.ok
+    assert second.ok and source == SOURCE_LIVE
+    assert len(cache) == 1  # only the success was stored
+
+
+def test_window_must_be_nonnegative(executor):
+    with pytest.raises(ValueError, match="window must be >= 0"):
+        MicroBatcher(cache=None, window=-0.1, executor=executor)

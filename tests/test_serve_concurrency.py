@@ -1,0 +1,151 @@
+"""Cache backends under concurrency: racing threads and processes.
+
+The serve event loop, its batch executor thread, and (for sqlite/dir)
+whole worker fleets share one backend; these tests hammer get/put from
+many threads per backend and from multiple processes for the two
+durable stores.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.campaign.cache import (
+    MemoryLRUCache,
+    ResultCache,
+    SqliteCache,
+    TieredCache,
+    make_backend,
+)
+from repro.campaign.tasks import CampaignTask, TaskResult
+
+THREADS = 8
+TASKS_PER_THREAD = 12
+
+
+def _task(i):
+    return CampaignTask.make("reachability", "fig2-pair", d1=1, d2=1, hold=i + 2)
+
+
+def _result(task):
+    return TaskResult(
+        task_hash=task.task_hash,
+        name=task.name,
+        kind=task.kind,
+        scenario=task.scenario,
+        params=task.params_dict(),
+        verdict="deadlock",
+        detail={"states_explored": 7},
+    )
+
+
+def _backend(kind, tmp_path):
+    if kind == "dir":
+        return ResultCache(tmp_path / "dir")
+    if kind == "memory":
+        return MemoryLRUCache(256)
+    if kind == "sqlite":
+        return SqliteCache(tmp_path / "cache.db")
+    return TieredCache(MemoryLRUCache(256), ResultCache(tmp_path / "cold"))
+
+
+@pytest.mark.parametrize("kind", ("dir", "memory", "sqlite", "tiered"))
+def test_threads_racing_get_put(kind, tmp_path):
+    """N threads all put+get the same task set; every get that returns
+    must return a well-formed cached result, and no call may raise."""
+    cache = _backend(kind, tmp_path)
+    tasks = [_task(i) for i in range(TASKS_PER_THREAD)]
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def hammer():
+        try:
+            barrier.wait(timeout=10)
+            for task in tasks:
+                cache.put(task, _result(task))
+                hit = cache.get(task)
+                # a racing clear/evict could miss, but a returned hit
+                # must be intact
+                if hit is not None:
+                    assert hit.verdict == "deadlock"
+                    assert hit.source == "cache"
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    workers = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=60)
+    assert errors == []
+    assert len(cache) == TASKS_PER_THREAD
+    for task in tasks:
+        hit = cache.get(task)
+        assert hit is not None and hit.detail["states_explored"] == 7
+
+
+def _process_hammer(spec: str, n: int) -> int:
+    """Module-level worker (must pickle): put+get n tasks, count hits."""
+    cache = make_backend(spec)
+    hits = 0
+    for i in range(n):
+        task = _task(i)
+        cache.put(task, _result(task))
+        if cache.get(task) is not None:
+            hits += 1
+    close = getattr(cache, "close", None)
+    if callable(close):
+        close()
+    return hits
+
+
+@pytest.mark.parametrize("scheme", ("dir", "sqlite"))
+def test_processes_racing_get_put(scheme, tmp_path):
+    """The durable backends are shared across real processes (shards,
+    CI runners): racing writers must corrupt nothing."""
+    if scheme == "dir":
+        spec = f"dir:{tmp_path / 'shared'}"
+    else:
+        spec = f"sqlite:{tmp_path / 'shared.db'}"
+    try:
+        pool = ProcessPoolExecutor(max_workers=3)
+    except Exception:  # pragma: no cover - sandbox without process support
+        pytest.skip("process pools unavailable in this environment")
+    with pool:
+        futures = [pool.submit(_process_hammer, spec, TASKS_PER_THREAD) for _ in range(3)]
+        counts = [f.result(timeout=120) for f in futures]
+    assert all(c == TASKS_PER_THREAD for c in counts)
+
+    merged = make_backend(spec)
+    assert len(merged) == TASKS_PER_THREAD
+    report = merged.integrity()
+    assert report.entries == TASKS_PER_THREAD
+    assert report.healthy, report.to_json()
+    for i in range(TASKS_PER_THREAD):
+        assert merged.get(_task(i)) is not None
+
+
+def test_sqlite_instance_shared_between_threads(tmp_path):
+    """One SqliteCache instance is documented as thread-safe (the serve
+    loop and its executor thread share one)."""
+    cache = SqliteCache(tmp_path / "cache.db")
+    errors = []
+
+    def worker(offset):
+        try:
+            for i in range(offset, offset + 6):
+                task = _task(i)
+                cache.put(task, _result(task))
+                assert cache.get(task) is not None
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(k * 6,)) for k in range(4)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=60)
+    assert errors == []
+    assert len(cache) == 24
+    cache.close()
