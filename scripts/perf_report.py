@@ -1,24 +1,31 @@
-"""A/B the fast search core against the reference oracle -> BENCH_search.json.
+"""N-engine A/B of the search core -> BENCH_search.json (bench-search/v2).
 
 For every requested scenario this script launches
-``benchmarks/bench_search_core.py`` twice -- once with
-``REPRO_SEARCH_ENGINE=reference``, once with ``fast`` -- in fresh
-interpreter processes (cold engine tables, no memo carry-over), takes the
-best of ``--repeats`` runs per engine, and writes a machine-readable
-report.  See ``docs/PERF.md`` for the report format and methodology.
+``benchmarks/bench_search_core.py`` once per engine under comparison
+(``REPRO_SEARCH_ENGINE=reference|fast|vector``) in fresh interpreter
+processes (cold engine tables, no memo carry-over), takes the best of
+``--repeats`` runs per engine, cross-checks that every engine reports an
+identical ``states`` count (the engines are pinned bit-identical; a
+divergence here is a correctness bug, not a perf result), and writes a
+machine-readable report.  See ``docs/PERF.md`` for the report format and
+methodology.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_report.py                  # full set
     PYTHONPATH=src python scripts/perf_report.py --quick          # CI smoke
     PYTHONPATH=src python scripts/perf_report.py \
-        --scenarios fig1-sync --min-speedup 1.0                   # gate
+        --scenarios fig1-sync --gate vector:fast:1.0              # gate
 
-``--min-speedup X`` turns the report into a regression gate: exit 1 if any
-measured scenario's wall-clock speedup (reference / fast) falls below X.
-The CI benchmark-smoke job runs the Fig. 1 search with ``--min-speedup
-1.0`` -- the optimized engine must never be slower than the oracle it
-replaces.
+``--gate FASTER:BASELINE:MIN`` (repeatable) turns the report into a
+regression gate: exit 1 if FASTER's CPU-time speedup over BASELINE falls
+below MIN on any measured scenario.  CPU time is the gated metric because
+the engines are single-process and CI wall clocks are shared-runner
+noise.  ``--min-speedup X`` is the v1 spelling of a wall-clock
+``fast:reference:X`` gate, kept for compatibility.  The CI
+benchmark-smoke job gates ``fast:reference:1.0`` and ``vector:fast:1.0``
+on the Fig. 1 search -- an optimized engine must never be slower than the
+engine it supersedes.
 """
 
 from __future__ import annotations
@@ -49,6 +56,9 @@ DEFAULT_SCENARIOS = (
 
 QUICK_SCENARIOS = ("fig1-sync", "thm1-five")
 
+#: engines in the default report, slowest first (speedups read downward)
+DEFAULT_ENGINES = ("reference", "fast", "vector")
+
 
 def run_one(scenario: str, engine: str) -> dict[str, Any]:
     """One fresh-process measurement of ``scenario`` under ``engine``."""
@@ -70,20 +80,60 @@ def run_one(scenario: str, engine: str) -> dict[str, Any]:
 
 
 def best_of(scenario: str, engine: str, repeats: int) -> dict[str, Any]:
-    """Best (lowest wall time) of ``repeats`` fresh-process runs."""
+    """Best (lowest CPU time) of ``repeats`` fresh-process runs."""
     runs = [run_one(scenario, engine) for _ in range(repeats)]
-    return min(runs, key=lambda r: r["wall_s"])
+    return min(runs, key=lambda r: r["cpu_s"])
 
 
-def bench_scenario(scenario: str, repeats: int) -> dict[str, Any]:
-    ref = best_of(scenario, "reference", repeats)
-    fast = best_of(scenario, "fast", repeats)
-    entry: dict[str, Any] = {"reference": ref, "fast": fast}
-    if fast["wall_s"] > 0:
-        entry["speedup_wall"] = round(ref["wall_s"] / fast["wall_s"], 2)
-    if fast["cpu_s"] > 0:
-        entry["speedup_cpu"] = round(ref["cpu_s"] / fast["cpu_s"], 2)
+def bench_scenario(
+    scenario: str, engines: list[str], repeats: int
+) -> dict[str, Any]:
+    """Measure every engine on one scenario; cross-check state counts.
+
+    The entry maps each engine name to its best run plus a ``speedups``
+    table with one ``"FASTER/BASELINE"`` key per ordered engine pair
+    (list order), each holding wall and CPU ratios.
+    """
+    entry: dict[str, Any] = {
+        eng: best_of(scenario, eng, repeats) for eng in engines
+    }
+    counts = {eng: entry[eng].get("states") for eng in engines}
+    if len(set(counts.values())) > 1:
+        raise RuntimeError(
+            f"{scenario}: engines disagree on states explored -- {counts}; "
+            "this is a search-correctness bug, refusing to write a report"
+        )
+    speedups: dict[str, dict[str, float]] = {}
+    for i, base in enumerate(engines):
+        for faster in engines[i + 1 :]:
+            pair: dict[str, float] = {}
+            if entry[faster]["wall_s"] > 0:
+                pair["wall"] = round(
+                    entry[base]["wall_s"] / entry[faster]["wall_s"], 2
+                )
+            if entry[faster]["cpu_s"] > 0:
+                pair["cpu"] = round(
+                    entry[base]["cpu_s"] / entry[faster]["cpu_s"], 2
+                )
+            speedups[f"{faster}/{base}"] = pair
+    entry["speedups"] = speedups
     return entry
+
+
+def parse_gate(text: str) -> tuple[str, str, float]:
+    """``FASTER:BASELINE:MIN`` -> validated triple."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--gate wants FASTER:BASELINE:MIN, got {text!r}"
+        )
+    try:
+        floor = float(parts[2])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--gate minimum must be a number, got {parts[2]!r}"
+        ) from exc
+    return parts[0], parts[1], floor
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,14 +147,26 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help=f"only {', '.join(QUICK_SCENARIOS)} (the CI smoke set)",
     )
+    parser.add_argument(
+        "--engines",
+        default=",".join(DEFAULT_ENGINES),
+        help="comma-separated engines to compare, slowest first "
+        f"(default: {','.join(DEFAULT_ENGINES)})",
+    )
     parser.add_argument("--repeats", type=int, default=1, help="best-of-N per engine")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_search.json"),
         help="report path (default: BENCH_search.json at the repo root)",
     )
     parser.add_argument(
+        "--gate", action="append", type=parse_gate, default=[],
+        metavar="FASTER:BASELINE:MIN",
+        help="exit 1 if FASTER's CPU speedup over BASELINE falls below MIN "
+        "on any scenario (repeatable)",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=None,
-        help="exit 1 if any scenario's wall speedup falls below this",
+        help="v1 compatibility: a wall-clock fast:reference gate",
     )
     args = parser.parse_args(argv)
 
@@ -114,34 +176,45 @@ def main(argv: list[str] | None = None) -> int:
         names = list(QUICK_SCENARIOS)
     else:
         names = list(DEFAULT_SCENARIOS)
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
 
     report: dict[str, Any] = {
-        "schema": "bench-search/v1",
+        "schema": "bench-search/v2",
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "repeats": args.repeats,
+        "engines": engines,
         "scenarios": {},
     }
     failed_gate: list[str] = []
     for name in names:
         print(f"[bench] {name} ...", flush=True)
-        entry = bench_scenario(name, args.repeats)
+        entry = bench_scenario(name, engines, args.repeats)
         report["scenarios"][name] = entry
-        speedup = entry.get("speedup_wall")
-        ref_w, fast_w = entry["reference"]["wall_s"], entry["fast"]["wall_s"]
-        print(
-            f"[bench] {name}: reference {ref_w:.3f}s  fast {fast_w:.3f}s  "
-            f"speedup {speedup if speedup is not None else 'n/a'}x",
-            flush=True,
+        times = "  ".join(f"{e} {entry[e]['cpu_s']:.3f}s" for e in engines)
+        ratios = "  ".join(
+            f"{k} {v.get('cpu', 'n/a')}x" for k, v in entry["speedups"].items()
         )
-        if (
-            args.min_speedup is not None
-            and speedup is not None
-            and speedup < args.min_speedup
-        ):
-            failed_gate.append(f"{name}: {speedup}x < {args.min_speedup}x")
+        print(f"[bench] {name}: {times}", flush=True)
+        print(f"[bench] {name}: {ratios}", flush=True)
+        for faster, base, floor in args.gate:
+            pair = entry["speedups"].get(f"{faster}/{base}")
+            got = None if pair is None else pair.get("cpu")
+            if got is None:
+                failed_gate.append(
+                    f"{name}: no {faster}/{base} measurement for the gate"
+                )
+            elif got < floor:
+                failed_gate.append(f"{name}: {faster}/{base} {got}x < {floor}x")
+        if args.min_speedup is not None:
+            pair = entry["speedups"].get("fast/reference", {})
+            wall = pair.get("wall")
+            if wall is not None and wall < args.min_speedup:
+                failed_gate.append(
+                    f"{name}: fast/reference {wall}x < {args.min_speedup}x (wall)"
+                )
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -1,12 +1,14 @@
-"""Profile the two hot paths (HPC-guide workflow: measure before tuning).
+"""Profile the hot paths (HPC-guide workflow: measure before tuning).
 
 Usage::
 
     python scripts/profile_hotpaths.py sim      # flit-level engine
     python scripts/profile_hotpaths.py search   # exhaustive checker
+    python scripts/profile_hotpaths.py vector   # whole-frontier numpy engine
 
-Prints cProfile's top cumulative entries.  Findings that shaped the code
-(recorded here so the next person doesn't re-derive them):
+Prints cProfile's top cumulative entries (``sim``/``search``) or the
+vector engine's per-phase wall-time breakdown (``vector``).  Findings that
+shaped the code (recorded here so the next person doesn't re-derive them):
 
 * engine: dominated by `_grant_round` dict lookups and `_cascade`; channel
   state lives in dicts keyed by int cid (O(1)); avoided per-flit objects
@@ -14,6 +16,12 @@ Prints cProfile's top cumulative entries.  Findings that shaped the code
 * checker: dominated by `occupied_channels` tuple scans; states are plain
   tuples so hashing/dedup is cheap; successor generation allocates the
   option lists lazily per round.
+* vector: dominated by the expand phase (wave-machine successor
+  generation, in particular `_branch_children` child materialization and
+  the clash/arbitration reduces); dedup and the sorted visited-store probe
+  are an order of magnitude cheaper.  np.where is slower than arithmetic
+  masking (`x * m`, xor-select) on every hot select, and late drain chains
+  are cheaper run serially (``MAX_DRAIN_ROWS``) than as one-row waves.
 """
 
 from __future__ import annotations
@@ -56,6 +64,50 @@ def profile_search() -> None:
     pstats.Stats("/tmp/search.prof").sort_stats("cumulative").print_stats(18)
 
 
+def profile_vector() -> None:
+    """Per-phase wall-time baseline for future vector-kernel work."""
+    import time
+
+    from repro.analysis.fastpath import engine_for
+    from repro.analysis.state import CheckerMessage, SystemSpec
+    from repro.analysis.vectorpath import VectorEngine
+    from repro.core.cyclic_dependency import build_cyclic_dependency_network
+
+    msgs = list(build_cyclic_dependency_network().checker_messages())
+    donors = [msgs[1], msgs[3]]  # M2/M4, the copies Theorem 1 interposes
+    for k in range(2):
+        d = donors[k % 2]
+        msgs.append(CheckerMessage(d.path, d.length, f"copy{k}"))
+    spec = SystemSpec.uniform(msgs, budget=1)
+    eng = VectorEngine(spec, fast=engine_for(spec))
+    if not eng.vectorizable:
+        raise SystemExit("profile spec unexpectedly not vectorizable")
+    eng.search(max_states=40_000_000)  # warm tables + allocator
+    eng.reset_profile()
+    t0 = time.perf_counter()
+    deadlock, states = eng.search(max_states=40_000_000)
+    total = time.perf_counter() - t0
+    phases = dict(eng.phase_seconds)
+    labels = {
+        "narrow": "narrow prologue (fused per-state expansion)",
+        "expand": "expand (wave-machine successor generation)",
+        "dedup": "dedup (level pack + first-occurrence)",
+        "visited": "visited (sorted-store probe + merge)",
+        "deadlock": "deadlock (vectorized mask test)",
+    }
+    print(
+        f"vector search: states={states} deadlock={deadlock} "
+        f"wall={total:.3f}s peak_frontier={eng.last_peak_frontier}"
+    )
+    for key, label in labels.items():
+        sec = phases.pop(key, 0.0)
+        print(f"  {sec:7.3f}s  {sec / total * 100:5.1f}%  {label}")
+    for key, sec in sorted(phases.items()):  # future phases, if any
+        print(f"  {sec:7.3f}s  {sec / total * 100:5.1f}%  {key}")
+    other = total - sum(eng.phase_seconds.values())
+    print(f"  {other:7.3f}s  {other / total * 100:5.1f}%  (outside phases)")
+
+
 if __name__ == "__main__":
     what = sys.argv[1] if len(sys.argv) > 1 else "sim"
-    {"sim": profile_sim, "search": profile_search}[what]()
+    {"sim": profile_sim, "search": profile_search, "vector": profile_vector}[what]()

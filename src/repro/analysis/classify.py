@@ -51,6 +51,7 @@ def classify_configuration(
     length_slack: int = 0,
     max_states: int = 20_000_000,
     search_jobs: int = 1,
+    engine: str | None = None,
 ) -> tuple[bool, SearchResult]:
     """Full-adversary reachability verdict for a fixed message-type set.
 
@@ -76,6 +77,7 @@ def classify_configuration(
             length_slack=length_slack,
             max_states=max_states,
             search_jobs=search_jobs,
+            engine=engine,
         )
     with tel.span("classify.config", messages=len(messages)) as sp:
         reachable, result = _classify_configuration_impl(
@@ -86,6 +88,7 @@ def classify_configuration(
             length_slack=length_slack,
             max_states=max_states,
             search_jobs=search_jobs,
+            engine=engine,
         )
         sp.set(
             verdict="reachable" if reachable else "deadlock-free",
@@ -104,6 +107,7 @@ def _classify_configuration_impl(
     length_slack: int,
     max_states: int,
     search_jobs: int,
+    engine: str | None,
 ) -> tuple[bool, SearchResult]:
     from repro.analysis.state import CheckerMessage as _CM
 
@@ -128,7 +132,11 @@ def _classify_configuration_impl(
             ]
             spec = SystemSpec.uniform(msgs, budget=budget)
             last = search_deadlock(
-                spec, max_states=max_states, find_witness=False, jobs=search_jobs
+                spec,
+                max_states=max_states,
+                find_witness=False,
+                jobs=search_jobs,
+                engine=engine,
             )
             if last.deadlock_reachable:
                 return True, last
@@ -239,6 +247,7 @@ def classify_cycle(
     max_states: int = 2_000_000,
     max_scenarios: int = 256,
     search_jobs: int = 1,
+    engine: str | None = None,
     certificates: str | None = None,
 ) -> CycleClassification:
     """Decide whether ``cycle`` can produce a reachable deadlock.
@@ -271,6 +280,7 @@ def classify_cycle(
             max_states=max_states,
             max_scenarios=max_scenarios,
             search_jobs=search_jobs,
+            engine=engine,
             certificates=certificates,
         )
     with tel.span("classify.cycle", channels=len(cycle)) as sp:
@@ -284,6 +294,7 @@ def classify_cycle(
             max_states=max_states,
             max_scenarios=max_scenarios,
             search_jobs=search_jobs,
+            engine=engine,
             certificates=certificates,
         )
         sp.set(
@@ -311,6 +322,7 @@ def _classify_cycle_impl(
     max_states: int,
     max_scenarios: int,
     search_jobs: int,
+    engine: str | None,
     certificates: str | None,
 ) -> CycleClassification:
     from repro.lint.certificates import (
@@ -344,6 +356,7 @@ def _classify_cycle_impl(
         max_states=max_states,
         max_scenarios=max_scenarios,
         search_jobs=search_jobs,
+        engine=engine,
     )
     if cert is not None:
         # check mode: certificate claimed reachable; the bounded search must
@@ -369,6 +382,7 @@ def _classify_cycle_search(
     max_states: int,
     max_scenarios: int,
     search_jobs: int,
+    engine: str | None,
 ) -> CycleClassification:
     """The search-based classification (certificate pre-pass already done)."""
     candidates = messages_for_cycle(alg, cycle, pairs)
@@ -420,11 +434,15 @@ def _classify_cycle_search(
                 # verdict first (symmetry-reduced, optionally parallel);
                 # witness search only for the rare deadlocking scenario
                 probe = search_deadlock(
-                    spec, max_states=max_states, find_witness=False, jobs=search_jobs
+                    spec,
+                    max_states=max_states,
+                    find_witness=False,
+                    jobs=search_jobs,
+                    engine=engine,
                 )
                 result = probe
                 if probe.deadlock_reachable:
-                    result = search_deadlock(spec, max_states=max_states)
+                    result = search_deadlock(spec, max_states=max_states, engine=engine)
                 if result.deadlock_reachable:
                     return CycleClassification(
                         cycle=cycle,

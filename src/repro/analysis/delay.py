@@ -38,6 +38,7 @@ def min_delay_to_deadlock(
     max_delay: int = 16,
     max_states: int = 4_000_000,
     search_jobs: int = 1,
+    engine: str | None = None,
 ) -> DelayResult:
     """Smallest uniform per-message stall budget Δ at which deadlock is reachable.
 
@@ -57,13 +58,17 @@ def min_delay_to_deadlock(
     for delta in range(max_delay + 1):
         spec = SystemSpec.uniform(messages, budget=delta)
         res = search_deadlock(
-            spec, max_states=max_states, find_witness=False, jobs=search_jobs
+            spec,
+            max_states=max_states,
+            find_witness=False,
+            jobs=search_jobs,
+            engine=engine,
         )
         if res.deadlock_reachable:
             # witness pass: identical to the pre-two-phase search at this
             # budget (witness mode, no symmetry reduction), so downstream
             # replay consumers see an unchanged trace
-            results[delta] = search_deadlock(spec, max_states=max_states)
+            results[delta] = search_deadlock(spec, max_states=max_states, engine=engine)
             return DelayResult(min_delay=delta, max_delay_tested=delta, results=results)
         results[delta] = res
     return DelayResult(min_delay=None, max_delay_tested=max_delay, results=results)
@@ -76,6 +81,7 @@ def delay_tolerance_profile(
     max_delay: int = 24,
     max_states: int = 6_000_000,
     search_jobs: int = 1,
+    engine: str | None = None,
 ) -> dict[int, int | None]:
     """Map each parameter ``m`` to the measured minimum deadlock delay Δ*(m).
 
@@ -90,6 +96,7 @@ def delay_tolerance_profile(
             max_delay=max_delay,
             max_states=max_states,
             search_jobs=search_jobs,
+            engine=engine,
         )
         profile[m] = res.min_delay
     return profile

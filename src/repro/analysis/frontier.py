@@ -26,8 +26,12 @@ every discovered state and erase the win.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.analysis.fastpath import engine_for
 from repro.analysis.state import SystemSpec
+from repro.analysis.vectorpath import COUNTERS as _V_COUNTERS
+from repro.analysis.vectorpath import vector_engine_for
 
 #: states per worker task; large enough to amortize pickling + dispatch,
 #: small enough to pipeline merge work behind expansion work
@@ -52,6 +56,7 @@ def frontier_search(
     max_states: int = 2_000_000,
     symmetry_reduction: bool = True,
     chunk_size: int = DEFAULT_CHUNK,
+    engine: str = "fast",
 ) -> tuple[bool, int]:
     """Parallel deadlock-reachability BFS over ``spec``.
 
@@ -59,8 +64,30 @@ def frontier_search(
     ``FastEngine.search`` (and therefore to the reference search) for the
     same parameters.  ``jobs`` is the worker-process count; ``jobs <= 1``
     simply runs the serial engine search.
+
+    ``engine="vector"`` does not compose with worker processes: the
+    vector engine already expands a whole BFS level per step, so carving
+    levels into per-state chunks for workers would dismantle exactly the
+    batching it exists for.  Rather than silently degrading to per-state
+    expansion, the combination is refused loudly -- a ``RuntimeWarning``
+    plus the ``vectorpath.fallback.jobs`` telemetry counter -- and the
+    whole-frontier search runs serially.
     """
     from repro.analysis.reachability import SearchLimitExceeded
+
+    if engine == "vector":
+        if jobs > 1:
+            _V_COUNTERS["vectorpath.fallback.jobs"] += 1
+            warnings.warn(
+                f"--search-jobs={jobs} does not compose with the vector engine "
+                "(it already batches whole BFS levels); running the "
+                "whole-frontier search serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return vector_engine_for(spec).search(
+            max_states=max_states, symmetry_reduction=symmetry_reduction
+        )
 
     eng = engine_for(spec)
     if jobs <= 1:

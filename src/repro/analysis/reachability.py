@@ -21,6 +21,11 @@ from repro.analysis.state import SystemSpec, SystemState
 # imports this module's SearchLimitExceeded lazily, so there is no cycle
 from repro.analysis.fastpath import engine_for as _engine_for
 from repro.analysis.fastpath import counters_snapshot as _counters_snapshot
+
+# same reasoning for the vector engine (and its numpy import): load cost
+# lands at import time so benchmark setup phases absorb it untimed
+from repro.analysis.vectorpath import counters_snapshot as _v_counters_snapshot
+from repro.analysis.vectorpath import vector_engine_for as _vector_engine_for
 from repro.obs import get as _obs_get
 
 
@@ -156,11 +161,14 @@ def search_deadlock(
         defaults to on only when ``find_witness`` is false.
     engine:
         ``"fast"`` (default) expands states through the table-driven
-        :class:`~repro.analysis.fastpath.FastEngine`; ``"reference"``
+        :class:`~repro.analysis.fastpath.FastEngine`; ``"vector"``
+        expands whole BFS levels at a time as numpy blocks through
+        :class:`~repro.analysis.vectorpath.VectorEngine`; ``"reference"``
         keeps the original :meth:`SystemSpec.successors` implementation as
-        a cross-checking oracle.  Both produce identical verdicts,
+        a cross-checking oracle.  All three produce identical verdicts,
         ``states_explored`` counts and witnesses (pinned by
-        ``tests/test_fastpath_differential.py``).  The
+        ``tests/test_fastpath_differential.py`` and
+        ``tests/test_vectorpath_differential.py``).  The
         ``REPRO_SEARCH_ENGINE`` environment variable overrides the
         default for whole processes (benchmarks, CI A/B runs).
     jobs:
@@ -200,7 +208,7 @@ def search_deadlock(
         )
 
     resolved = engine or os.environ.get("REPRO_SEARCH_ENGINE", "fast")
-    before = _counters_snapshot()
+    before = {**_counters_snapshot(), **_v_counters_snapshot()}
     with tel.span(
         "search.deadlock",
         engine=resolved,
@@ -219,7 +227,8 @@ def search_deadlock(
             certificates=certificates,
         )
         dur = time.perf_counter() - t0
-        after = _counters_snapshot()  # before telemetry's own engine_for below
+        # snapshot before telemetry's own engine_for below
+        after = {**_counters_snapshot(), **_v_counters_snapshot()}
         sp.set(
             verdict="reachable" if result.deadlock_reachable else "deadlock-free",
             states_explored=result.states_explored,
@@ -233,6 +242,12 @@ def search_deadlock(
             depth = _engine_for(spec).last_search_depth
             if depth is not None:
                 sp.set(frontier_depth=depth)
+        elif resolved == "vector" and result.states_explored:
+            veng = _vector_engine_for(spec)
+            if veng.last_search_depth is not None:
+                sp.set(frontier_depth=veng.last_search_depth)
+            if veng.last_peak_frontier:
+                sp.set(peak_frontier=veng.last_peak_frontier)
         tel.incr("search.calls")
         tel.incr("search.states_explored", result.states_explored)
         if result.certificate is not None and result.states_explored == 0:
@@ -263,8 +278,10 @@ def _search_deadlock_impl(
         symmetry_reduction = not find_witness
     if engine is None:
         engine = os.environ.get("REPRO_SEARCH_ENGINE", "fast")
-    if engine not in ("fast", "reference"):
-        raise ValueError(f"unknown search engine {engine!r}; use 'fast' or 'reference'")
+    if engine not in ("fast", "vector", "reference"):
+        raise ValueError(
+            f"unknown search engine {engine!r}; use 'fast', 'vector' or 'reference'"
+        )
 
     init = spec.initial_state()
     dead = spec.deadlocked_set(init)
@@ -302,6 +319,14 @@ def _search_deadlock_impl(
 
     if engine == "fast":
         result = _search_fast(
+            spec,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+            jobs=jobs,
+        )
+    elif engine == "vector":
+        result = _search_vector(
             spec,
             max_states=max_states,
             find_witness=find_witness,
@@ -414,6 +439,60 @@ def _search_fast(
     # (see FastEngine.search_witness), so witness searches run at nearly
     # verdict-search speed while returning the reference's exact witness
     found, count, steps, states, dead = engine_for(spec).search_witness(
+        max_states=max_states, symmetry_reduction=symmetry_reduction
+    )
+    witness = None
+    if found:
+        assert steps is not None and states is not None
+        witness = Witness(spec=spec, steps=steps, states=states, deadlocked=dead)
+    return SearchResult(
+        deadlock_reachable=found,
+        witness=witness,
+        states_explored=count,
+        spec=spec,
+    )
+
+
+def _search_vector(
+    spec: SystemSpec,
+    *,
+    max_states: int,
+    find_witness: bool,
+    symmetry_reduction: bool,
+    jobs: int,
+) -> SearchResult:
+    """Whole-frontier numpy search (bit-identical to fast/reference).
+
+    ``jobs > 1`` is routed through :func:`~repro.analysis.frontier
+    .frontier_search`, which refuses to combine process parallelism with
+    the vector engine (warning + ``vectorpath.fallback.jobs`` counter)
+    and runs the whole-frontier search serially instead -- the engine
+    already batches an entire BFS level per step, so per-state chunking
+    across workers would undo the batching it exists for.
+    """
+    if not find_witness:
+        if jobs > 1:
+            from repro.analysis.frontier import frontier_search
+
+            reachable, explored = frontier_search(
+                spec,
+                jobs=jobs,
+                max_states=max_states,
+                symmetry_reduction=symmetry_reduction,
+                engine="vector",
+            )
+        else:
+            reachable, explored = _vector_engine_for(spec).search(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
+            )
+        return SearchResult(
+            deadlock_reachable=reachable,
+            witness=None,
+            states_explored=explored,
+            spec=spec,
+        )
+
+    found, count, steps, states, dead = _vector_engine_for(spec).search_witness(
         max_states=max_states, symmetry_reduction=symmetry_reduction
     )
     witness = None

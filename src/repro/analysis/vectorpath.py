@@ -1,0 +1,1253 @@
+"""Whole-frontier vectorized BFS engine over the fastpath transition tables.
+
+:class:`VectorEngine` is the third search engine (after the reference and
+:class:`~repro.analysis.fastpath.FastEngine`).  Where the fast engine still
+expands one state at a time in a Python inner loop, this engine processes
+the BFS **one whole level at a time** as numpy arrays:
+
+* a state is one fixed-width row of per-message state indices (``int32``),
+  exactly the flat tuples of the fast engine's index domain; the occupancy
+  bitmask of each row rides along in one integer column whose dtype
+  (``self._md``) is ``int32`` when the mask fits 31 bits and ``int64``
+  otherwise -- halving the element traffic of every mask op on the common
+  small specs;
+* the per-message scan records of the fast engine (``(req, opts)`` with at
+  most two options) are flattened into dense ``(n_messages, n_states)``
+  numpy tables at construction -- requested-channel bit, option count,
+  first-option channel/next-index/acquired/released, second-option kind
+  (wait vs stall) and next-index, occupancy bits, blocking bit -- so one
+  flat ``np.take`` (per-message column offsets baked into the index) reads
+  the scan record of every message of every frontier state at once;
+* grant rounds run as a **wave machine**: every not-yet-emitted row scans,
+  applies its deterministic movers simultaneously, and branching rows are
+  replaced in place by their combo children via ``np.repeat`` splicing,
+  with arbitration among clashing requesters enumerated as **mixed-radix
+  arithmetic** (child ``k``'s digits select one winner per contested
+  channel).  Emitted rows stay in place as tombstones, so the final row
+  order is the depth-first leaf order of the reference expansion.  All hot
+  selects use arithmetic masking (``x * m`` for masked-zero,
+  ``b ^ ((a ^ b) * m)`` for two-way) rather than ``np.where``, which is
+  2-3x slower through its buffered three-operand path.  Once a wave
+  shrinks to :data:`MAX_DRAIN_ROWS` live rows, the survivors drain through
+  the serial fused expansion instead of paying numpy dispatch per
+  near-empty wave.  Duplicate wave nodes are pruned every *other* round
+  (``guard & 1``) via packed node keys -- pruning each round costs more
+  than the duplicates it removes;
+* successor dedup is batched per level: canonicalize rows by sorting
+  within symmetry classes (vectorized column sort), pack each row into a
+  single integer key (``kbits`` bits per message index), take stable
+  first occurrences via an argsort over the keys, then probe the visited
+  store -- a **sorted key array** -- with one ``np.searchsorted`` per
+  level and merge the survivors back in a single ``np.insert`` pass.  The
+  key dtype is again ``int32`` when the packed key fits, ``int64``
+  otherwise;
+* deadlock detection is a vectorized mask test over the new-state block:
+  read the wait-for functional graph off the occupancy tables (unique
+  owner per channel bit) and iterate the owner pointer ``n`` steps --
+  any row still on a live pointer has a wait-for cycle.
+
+Equivalence contract: verdicts, ``states_explored`` counts (including the
+early-exit count when a deadlock is found and the exact
+:class:`~repro.analysis.reachability.SearchLimitExceeded` behaviour) and
+witnesses are bit-identical to both other engines.  Two facts carry the
+proof.  First, the wave machine reproduces the reference's per-root
+emission order leaf for leaf (children are spliced in combo order, in
+place).  Second, the fast engine's ``seen_nodes`` branch-convergence
+pruning only ever removes emissions that duplicate an earlier-in-order
+emission -- a duplicated ``(configuration, pending)`` node expands to an
+identical subtree, and the pruned copy always sits later in leaf order --
+so skipping that pruning here changes nothing once the per-level
+first-occurrence dedup has run.  ``tests/test_vectorpath_differential.py``
+pins all three engines against each other over the paper battery plus
+hypothesis-generated specs.
+
+Searches start in a narrow prologue -- the fused fast-engine expansion
+over plain index tuples -- and switch one-way to the wide path when a
+level first reaches :data:`MIN_VECTOR_FRONTIER` rows (the Python-set
+visited store is converted to the sorted key array at the switch), because
+sub-hundred-row levels cost more in numpy dispatch than they save.  Specs
+whose mask width, message count, or packed key exceeds the ``int64``
+encoding fall back to the fast engine wholesale
+(:data:`MAX_VECTOR_BITS`/:data:`MAX_VECTOR_MSGS`).
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import product as _product
+
+import numpy as np
+
+from repro.analysis.fastpath import _STALL, _WAIT, FastEngine, engine_for
+from repro.analysis.state import SystemSpec
+
+#: dtype of per-message state indices (table rows are small)
+ID = np.int32
+#: dtype of occupancy masks / pending bitmasks
+MD = np.int64
+
+#: BFS levels narrower than this expand through the fused fast-engine path;
+#: numpy dispatch overhead beats the batching win on tiny levels.  Read at
+#: search time (not bound at construction) so tests can monkeypatch it to
+#: force the wide path onto small scenarios.
+MIN_VECTOR_FRONTIER = 256
+
+#: wave-machine tail switch: once the set of still-live nodes of a level
+#: shrinks to this many rows, the remaining (long, mostly-deterministic)
+#: drain chains finish through the serial per-node expansion instead --
+#: late waves would otherwise pay full-array splice copies and tiny-array
+#: numpy dispatch for a handful of rows
+MAX_DRAIN_ROWS = 48
+
+#: widest occupancy mask / message count the signed-int64 encoding covers;
+#: beyond these the engine delegates to the fast engine wholesale
+MAX_VECTOR_BITS = 62
+MAX_VECTOR_MSGS = 62
+
+_VENGINE_CACHE_LIMIT = 64
+_VENGINES: dict[SystemSpec, "VectorEngine"] = {}
+
+#: cumulative counters, read by the telemetry layer (repro.obs) via
+#: snapshot deltas around a search; incremented per level / per call,
+#: never inside the wave loop
+COUNTERS: dict[str, int] = {
+    "vectorpath.engine_cache.hits": 0,
+    "vectorpath.engine_cache.misses": 0,
+    "vectorpath.levels.wide": 0,
+    "vectorpath.levels.narrow": 0,
+    "vectorpath.emitted": 0,
+    "vectorpath.unique": 0,
+    "vectorpath.fallback.searches": 0,
+    "vectorpath.fallback.jobs": 0,
+}
+
+_PHASES = ("expand", "dedup", "visited", "deadlock", "narrow")
+
+
+def counters_snapshot() -> dict[str, int]:
+    """A copy of :data:`COUNTERS` (diff two to meter one search)."""
+    return dict(COUNTERS)
+
+
+def vector_engine_for(spec: SystemSpec) -> "VectorEngine":
+    """The (cached) vector engine for ``spec``."""
+    eng = _VENGINES.get(spec)
+    if eng is None:
+        COUNTERS["vectorpath.engine_cache.misses"] += 1
+        if len(_VENGINES) >= _VENGINE_CACHE_LIMIT:
+            _VENGINES.clear()
+        eng = VectorEngine(spec)
+        _VENGINES[spec] = eng
+    else:
+        COUNTERS["vectorpath.engine_cache.hits"] += 1
+    return eng
+
+
+def _first_occurrences(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(first, cand)``: first-occurrence indices and their distinct keys.
+
+    The lexicographic sort + adjacent-unique pass of ``np.unique``, but
+    with a stable argsort: numpy implements it as a radix sort for the
+    int32 keys of small specs (measurably faster than the default
+    quicksort on ~50k-row waves), and stability makes the first index of
+    each equal-key run the first occurrence with no extra pass.  Both
+    outputs come back in ascending **key** order (``cand`` is sorted),
+    not emission order -- callers that need emission order sort the
+    (usually much smaller) surviving subset themselves.
+    """
+    if keys.size <= 1:
+        return np.arange(keys.size, dtype=np.intp), keys
+    order = keys.argsort(kind="stable")
+    sk = keys[order]
+    head = np.empty(sk.size, dtype=bool)
+    head[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=head[1:])
+    return order[head], sk[head]
+
+
+def _sorted_member(vis: np.ndarray, cand: np.ndarray) -> np.ndarray:
+    """Vectorized membership of ``cand`` in the sorted key array ``vis``."""
+    if vis.size == 0:
+        return np.zeros(cand.shape[0], dtype=bool)
+    pos = np.searchsorted(vis, cand)
+    inb = pos < vis.size
+    member = np.zeros(cand.shape[0], dtype=bool)
+    member[inb] = vis[pos[inb]] == cand[inb]
+    return member
+
+
+class VectorEngine:
+    """Whole-frontier BFS over numpy-encoded fastpath transition tables."""
+
+    def __init__(self, spec: SystemSpec, *, fast: FastEngine | None = None) -> None:
+        self.spec = spec
+        self.fast = fast if fast is not None else engine_for(spec)
+        f = self.fast
+        self._n = f._n
+        self.num_bits = f.num_bits
+        n = self._n
+        size = max(len(f._back[i]) for i in range(n)) if n else 0
+        #: bits per message index in the packed single-int64 state key
+        self._kbits = max(1, int(size - 1).bit_length()) if size else 1
+        #: False when the spec does not fit the int64 row encoding (mask
+        #: width, message count, or the packed state key ``n * kbits + n``
+        #: for the wave-dedup node key); every search then delegates to
+        #: the fast engine (counted in COUNTERS)
+        self.vectorizable = (
+            1 <= n <= MAX_VECTOR_MSGS
+            and f.num_bits <= MAX_VECTOR_BITS
+            and n * self._kbits + n <= 62
+        )
+        #: BFS levels of the most recent :meth:`search` (telemetry only)
+        self.last_search_depth: int | None = None
+        #: widest BFS level of the most recent search (telemetry only)
+        self.last_peak_frontier: int = 0
+        #: cumulative per-phase wall seconds (scripts/profile_hotpaths.py)
+        self.phase_seconds: dict[str, float] = {p: 0.0 for p in _PHASES}
+        if not self.vectorizable:
+            return
+        #: occupancy-mask dtype: int32 when the mask fits (halves the
+        #: element traffic of every mask op), int64 otherwise.  All
+        #: bit-collision sums accumulate in int64 regardless (a sum of
+        #: single int32 bits can overflow int32).
+        self._md: type = np.int32 if f.num_bits <= 31 else MD
+        md = self._md
+        t_req = np.zeros((n, size), dtype=md)
+        t_nops = np.zeros((n, size), dtype=np.int8)
+        t_ch0 = np.zeros((n, size), dtype=md)
+        t_nxt0 = np.zeros((n, size), dtype=ID)
+        t_acq0 = np.zeros((n, size), dtype=md)
+        t_rel0 = np.zeros((n, size), dtype=md)
+        t_nxt1 = np.zeros((n, size), dtype=ID)
+        t_wait1 = np.zeros((n, size), dtype=bool)
+        t_occ = np.zeros((n, size), dtype=md)
+        t_blk = np.zeros((n, size), dtype=md)
+        for i in range(n):
+            scan_i = f._scan[i]
+            occ_i = f._occm[i]
+            blk_i = f._blk[i]
+            for ci in range(len(scan_i)):
+                req, opts = scan_i[ci]
+                t_req[i, ci] = req
+                t_nops[i, ci] = len(opts)
+                t_occ[i, ci] = occ_i[ci]
+                t_blk[i, ci] = blk_i[ci]
+                if opts:
+                    _lab, chan, nci, acq, rel = opts[0]
+                    t_ch0[i, ci] = 0 if chan is None else chan
+                    t_nxt0[i, ci] = nci
+                    t_acq0[i, ci] = acq
+                    t_rel0[i, ci] = rel
+                if len(opts) > 1:
+                    lab1, _c1, nci1, _a1, _r1 = opts[1]
+                    t_nxt1[i, ci] = nci1
+                    t_wait1[i, ci] = lab1 == "wait"
+        #: (1, n) flat-table row offsets: the (n, size) tables are stored
+        #: flattened and gathered through one shared flat index
+        #: ``cfg + coloff`` with ``take`` -- the index block is computed
+        #: once per wave instead of once per broadcast fancy-index gather
+        self._coloff = (np.arange(n, dtype=ID) * size).reshape(1, n)
+        self._f_req = t_req.reshape(-1)
+        self._f_nops = t_nops.reshape(-1)
+        self._f_ch0 = t_ch0.reshape(-1)
+        self._f_nxt0 = t_nxt0.reshape(-1)
+        # fused mask delta: acquired and released bits of a move are always
+        # disjoint (acquired free / released occupied at scan time), so
+        # ``(mask | acq) & ~rel == mask ^ (acq | rel)`` -- one table, one
+        # XOR, half the reductions of the two-table form
+        self._f_mv0 = (t_acq0 | t_rel0).reshape(-1)
+        self._f_nxt1 = t_nxt1.reshape(-1)
+        self._f_wait1 = t_wait1.reshape(-1)
+        self._f_occ = t_occ.reshape(-1)
+        self._f_blk = t_blk.reshape(-1)
+        # symmetry classes as column-index arrays (mirrors FastEngine.canon:
+        # sorting indices within a class picks the same representatives)
+        groups: dict[tuple, list[int]] = {}
+        for i, (m, b) in enumerate(zip(spec.messages, spec.budgets)):
+            groups.setdefault((m.path, m.length, b), []).append(i)
+        self._canon_cols = [
+            np.asarray(ix, dtype=np.intp) for ix in groups.values() if len(ix) > 1
+        ]
+        # strict lower-triangular (1, n, n) mask for arbitration rank sums
+        self._lt = np.tril(np.ones((n, n), dtype=bool), -1)[None, :, :]
+        #: packed-key dtype: int32 when the wave node key (state key plus
+        #: one pend bit per message) fits, int64 otherwise
+        self._kd = np.int32 if n * self._kbits + n <= 31 else MD
+        #: per-column shifts of the packed state key
+        self._kshift = (np.arange(n, dtype=self._kd) * self._kbits).reshape(1, n)
+        #: (1, n) per-message shifts for the pend bits of the wave node key
+        self._ark = np.arange(n, dtype=self._kd).reshape(1, n)
+        #: duplicate single-bit channels detectable as sum != bitwise-or
+        #: (the sum of n single-bit masks cannot overflow int64)
+        self._sum_safe = f.num_bits + max(0, (n - 1).bit_length()) + 1 <= 63
+        # joint-choice spread table (n <= 8): _spread[two_code, rank, j]
+        # is True when child ``rank`` picks option 1 for two-option mover
+        # ``j``, with the first mover varying slowest -- the
+        # ``product(*bopts)`` enumeration as one table gather
+        if n <= 8:
+            codes = np.arange(1 << n, dtype=np.int64)
+            twob = ((codes[:, None] >> np.arange(n)) & 1).astype(bool)
+            sfx = twob[:, ::-1].cumsum(axis=1)[:, ::-1] - twob
+            ranks = np.arange(1 << n, dtype=np.int64)
+            self._spread: np.ndarray | None = (
+                ((ranks[None, :, None] >> sfx[:, None, :]) & 1) != 0
+            ) & twob[:, None, :]
+        else:
+            self._spread = None
+
+    def reset_profile(self) -> None:
+        for p in _PHASES:
+            self.phase_seconds[p] = 0.0
+
+    # ------------------------------------------------------------------
+    # canonicalization / dedup / deadlock over row blocks
+    # ------------------------------------------------------------------
+    def _pack_rows(self, rows: np.ndarray) -> np.ndarray:
+        """One integer key per row: message indices at ``kbits``-bit stride.
+
+        Keys are int32 when ``n * kbits + n`` fits (halves the sort and
+        searchsorted traffic of every dedup), int64 otherwise.
+        """
+        r = rows.astype(self._kd, copy=False)
+        out = r[:, 0].astype(self._kd)  # always copies (column view)
+        k = self._kbits
+        for j in range(1, self._n):
+            out |= r[:, j] << (j * k)  # python-int shift keeps the dtype
+        return out
+
+    def _pack_set(self, states: set[tuple]) -> np.ndarray:
+        """Sorted packed keys of a Python-set visited store (mode switch)."""
+        if not states:
+            return np.empty(0, dtype=self._kd)
+        rows = np.asarray(sorted(states), dtype=self._kd)
+        out = self._pack_rows(rows)
+        out.sort()
+        return out
+
+    def _unpack(self, key: int) -> tuple:
+        """The index tuple behind one packed state key."""
+        k = self._kbits
+        m = (1 << k) - 1
+        return tuple((key >> (i * k)) & m for i in range(self._n))
+
+    def _canon_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise symmetry canonicalization (sort within each class)."""
+        if not self._canon_cols:
+            return rows
+        out = rows.copy()
+        for cols in self._canon_cols:
+            sub = out[:, cols]
+            sub.sort(axis=1)
+            out[:, cols] = sub
+        return out
+
+    def _deadlock_flags(self, cfg: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Boolean wait-for-cycle verdict per row (mirrors ``_deadlocked``).
+
+        The owner of each blocked message's requested channel is read off
+        the occupancy tables -- channel occupancies are disjoint, so the
+        weighted sum over messages recovers the unique owner index -- and
+        the resulting functional graph is iterated ``n`` steps: a pointer
+        that never falls off (-1) is on a cycle.
+        """
+        idx = cfg + self._coloff
+        req = self._f_blk.take(idx)
+        blocked = (mask[:, None] & req) != 0
+        out = np.zeros(cfg.shape[0], dtype=bool)
+        rows = np.flatnonzero(blocked.any(axis=1))
+        if rows.size == 0:
+            return out
+        n = self._n
+        occ = self._f_occ.take(idx[rows])
+        reqr = req[rows] * blocked[rows]
+        own = np.zeros((rows.size, n), dtype=np.int64)
+        for j in range(n):
+            own += (j + 1) * ((occ[:, j][:, None] & reqr) != 0)
+        wait = own - 1
+        # a message occupying its own requested channel is not an edge
+        wait[wait == np.arange(n, dtype=np.int64)[None, :]] = -1
+        ptr = wait
+        for _ in range(n):
+            ptr = np.where(
+                ptr >= 0,
+                np.take_along_axis(wait, np.maximum(ptr, 0), axis=1),
+                -1,
+            )
+        out[rows] = (ptr >= 0).any(axis=1)
+        return out
+
+    # ------------------------------------------------------------------
+    # the wave machine: all successors of a whole BFS level at once
+    # ------------------------------------------------------------------
+    def _drain_leaves(
+        self, cur0: list, pending0: int, mask0: int
+    ) -> tuple[list[tuple], list[int]]:
+        """All emission leaves of one live wave node, reference combo order.
+
+        Serial counterpart of the wave machine for a single (cfg, pend,
+        mask) node at a round boundary: the same round loop, pre-apply,
+        joint-choice enumeration and arbitration as
+        ``FastEngine._emissions`` (children pushed in reverse for
+        depth-first leaf order), minus visited fusion and deadlock lookups
+        -- the caller dedups and verdicts the whole level in batch.  May
+        emit duplicate leaves (pruning is best-effort, as everywhere).
+        """
+        n = self._n
+        scan = self.fast._scan
+        seen_nodes: set[tuple] = set()
+        out_cfg: list[tuple] = []
+        out_mask: list[int] = []
+        stack: list[tuple[list, int, int]] = [(cur0, pending0, mask0)]
+        while stack:
+            cur, pending, mask = stack.pop()
+            branch = False
+            if pending >= 0:
+                while True:
+                    if not pending:
+                        break
+                    movers: list[int] = []
+                    mopts: list[tuple] = []
+                    multi = False
+                    reqmask = 0
+                    clash = False
+                    want = 0
+                    for i in range(n):
+                        if not pending >> i & 1:
+                            continue
+                        req, opts = scan[i][cur[i]]
+                        if mask & req:
+                            want |= req
+                        elif opts:
+                            movers.append(i)
+                            mopts.append(opts)
+                            if len(opts) > 1:
+                                multi = True
+                            elif req:
+                                if reqmask & req:
+                                    clash = True
+                                reqmask |= req
+                        else:
+                            pending &= ~(1 << i)
+                    if not movers:
+                        break
+                    if not multi and not clash:
+                        freed = 0
+                        for i, o in zip(movers, mopts):
+                            first = o[0]
+                            cur[i] = first[2]
+                            mask = (mask | first[3]) & ~first[4]
+                            freed |= first[4]
+                            pending &= ~(1 << i)
+                        if not pending or not freed & want:
+                            break
+                        continue
+                    seen1 = 0
+                    seen2 = 0
+                    for o in mopts:
+                        c = o[0][1]
+                        if c is not None:
+                            if seen1 & c:
+                                seen2 |= c
+                            seen1 |= c
+                    bmovers: list[int] = []
+                    bopts: list[tuple] = []
+                    pre_moved = False
+                    freed = 0
+                    for i, o in zip(movers, mopts):
+                        first = o[0]
+                        c = first[1]
+                        if len(o) > 1 or (c is not None and seen2 & c):
+                            bmovers.append(i)
+                            bopts.append(o)
+                            continue
+                        cur[i] = first[2]
+                        mask = (mask | first[3]) & ~first[4]
+                        freed |= first[4]
+                        pending &= ~(1 << i)
+                        pre_moved = True
+                    if not bmovers:  # pragma: no cover - multi/clash imply some
+                        if not pending or not freed & want:
+                            break
+                        continue
+                    branch = True
+                    break
+            if not branch:
+                out_cfg.append(tuple(cur))
+                out_mask.append(mask)
+                continue
+            children: list[tuple[list, int, int]] = []
+            chseen = 0
+            no_contest = True
+            for o in bopts:
+                c = o[0][1]
+                if c is not None:
+                    if chseen & c:
+                        no_contest = False
+                        break
+                    chseen |= c
+            for combo in _product(*bopts):
+                wsets: tuple | None = None
+                if not no_contest:
+                    seenm = 0
+                    dupm = 0
+                    for o in combo:
+                        c = o[1]
+                        if c is not None:
+                            if seenm & c:
+                                dupm |= c
+                            seenm |= c
+                    if dupm:
+                        requests: dict[int, list[int]] = {}
+                        for i, o in zip(bmovers, combo):
+                            c = o[1]
+                            if c is not None and c & dupm:
+                                lst = requests.get(c)
+                                if lst is None:
+                                    requests[c] = [i]
+                                else:
+                                    lst.append(i)
+                        if len(requests) == 1:
+                            ((c0, cands),) = requests.items()
+                            wsets = tuple([{c0: w} for w in cands])
+                        else:
+                            wsets = tuple(
+                                [
+                                    dict(zip(requests, wc))
+                                    for wc in _product(*requests.values())
+                                ]
+                            )
+                if wsets is None:
+                    nxt = list(cur)
+                    nmask = mask
+                    npend = pending
+                    moved = pre_moved
+                    for i, o in zip(bmovers, combo):
+                        lab, _chan, nci, acq, rel = o
+                        if lab is _WAIT:
+                            continue
+                        nxt[i] = nci
+                        npend &= ~(1 << i)
+                        if lab is not _STALL:
+                            moved = True
+                        if acq or rel:
+                            nmask = (nmask | acq) & ~rel
+                    if moved:
+                        node = (tuple(nxt), npend)
+                        if node not in seen_nodes:
+                            seen_nodes.add(node)
+                            children.append((nxt, npend, nmask))
+                    else:
+                        children.append((nxt, -1, nmask))
+                    continue
+                for winners in wsets:
+                    nxt = list(cur)
+                    nmask = mask
+                    npend = pending
+                    moved = pre_moved
+                    for i, o in zip(bmovers, combo):
+                        lab, chan, nci, acq, rel = o
+                        if chan is not None:
+                            w = winners.get(chan)
+                            if w is not None and w != i:
+                                npend &= ~(1 << i)
+                                continue
+                        if lab is _WAIT:
+                            continue
+                        nxt[i] = nci
+                        npend &= ~(1 << i)
+                        if lab is not _STALL:
+                            moved = True
+                        if acq or rel:
+                            nmask = (nmask | acq) & ~rel
+                    if moved:
+                        node = (tuple(nxt), npend)
+                        if node not in seen_nodes:
+                            seen_nodes.add(node)
+                            children.append((nxt, npend, nmask))
+                    else:
+                        children.append((nxt, -1, nmask))
+            stack.extend(reversed(children))
+        return out_cfg, out_mask
+
+    def _expand_level(
+        self, cfg0: np.ndarray, mask0: np.ndarray, *, need_roots: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """``(emitted_cfg, emitted_mask, emitted_root)`` for one BFS level.
+
+        Row ``r`` of the output is the ``r``-th emission the serial fast
+        engine would produce expanding the level's states in order (minus
+        its in-expansion dedup, which the caller's batched first-occurrence
+        pass reproduces); ``emitted_root[r]`` indexes the level row it came
+        from.  May contain duplicate rows.  Only witness searches consume
+        the root map; verdict searches pass ``need_roots=False`` and get
+        ``None`` back, skipping one gather per splice.
+        """
+        n = self._n
+        wcfg = cfg0.astype(ID, copy=True)
+        wpend = np.ones((cfg0.shape[0], n), dtype=bool)
+        wmask = mask0.astype(self._md, copy=True)
+        wroot = np.arange(cfg0.shape[0], dtype=ID) if need_roots else None
+        wem = np.zeros(cfg0.shape[0], dtype=bool)
+        orr = np.bitwise_or.reduce
+        guard = 0
+        while True:
+            act = np.flatnonzero(~wem)
+            if act.size == 0:
+                break
+            if act.size <= MAX_DRAIN_ROWS:
+                # tail switch: finish the few surviving drain chains
+                # serially; their leaves splice into the same positions the
+                # wave machine would have emitted them at, so leaf order --
+                # and therefore everything downstream -- is unchanged
+                cfg_l = wcfg[act].tolist()
+                pend_l = (
+                    (wpend[act].astype(np.int64) << np.arange(n, dtype=np.int64))
+                    .sum(axis=1)
+                    .tolist()
+                )
+                mask_l = wmask[act].tolist()
+                leaves = [
+                    self._drain_leaves(c, p, m)
+                    for c, p, m in zip(cfg_l, pend_l, mask_l)
+                ]
+                counts = np.ones(wcfg.shape[0], dtype=np.int64)
+                counts[act] = [len(lc) for lc, _lm in leaves]
+                pos = np.repeat(np.arange(wcfg.shape[0], dtype=ID), counts)
+                live = np.zeros(wcfg.shape[0], dtype=bool)
+                live[act] = True
+                slots = np.flatnonzero(live[pos])
+                wcfg = wcfg[pos]
+                wmask = wmask[pos]
+                if wroot is not None:
+                    wroot = wroot[pos]
+                wcfg[slots] = np.array(
+                    [st for lc, _lm in leaves for st in lc], dtype=ID
+                )
+                wmask[slots] = np.array(
+                    [m for _lc, lm in leaves for m in lm], dtype=self._md
+                )
+                break
+            if (guard & 1) and act.size > 1:
+                # branch-convergence pruning, batched: a live (cfg, pend)
+                # node reached twice -- different arbitration winners,
+                # lose-vs-wait pairs ending equal, or two level states
+                # converging -- expands to the identical subtree, and the
+                # later copy's emissions are all duplicates of the earlier
+                # one's, so dropping it is invisible after the level's
+                # first-occurrence dedup.  (Supersedes the fast engine's
+                # per-root ``seen_nodes``: it also prunes across roots.)
+                if n <= 8:
+                    pcode = np.packbits(wpend[act], axis=1, bitorder="little")[
+                        :, 0
+                    ]
+                else:  # pragma: no cover - exercised only for n > 8
+                    pcode = orr(wpend[act].astype(self._kd) << self._ark, axis=1)
+                kc = (self._pack_rows(wcfg[act]) << n) | pcode
+                first, _ = _first_occurrences(kc)
+                if first.size < act.size:
+                    keep = np.ones(wcfg.shape[0], dtype=bool)
+                    keep[act] = False
+                    keep[act[first]] = True
+                    wcfg = wcfg[keep]
+                    wpend = wpend[keep]
+                    wmask = wmask[keep]
+                    if wroot is not None:
+                        wroot = wroot[keep]
+                    wem = wem[keep]
+                    act = np.flatnonzero(~wem)
+            guard += 1
+            if guard > 4 * n + 8:  # pragma: no cover - pend strictly shrinks
+                raise AssertionError("vector wave machine failed to converge")
+            cfg = wcfg[act]
+            pend = wpend[act]
+            mask = wmask[act]
+            # --- scan: one shared flat index, one take per table ---
+            idx = cfg + self._coloff
+            req = self._f_req.take(idx)
+            nops = self._f_nops.take(idx)
+            done = pend & (nops == 0)
+            done_any = bool(done.any())
+            if done_any:
+                pend = pend & ~done
+            blocked = pend & ((mask[:, None] & req) != 0)
+            mover = pend & ~blocked
+            has_mover = mover.any(axis=1)
+            two = mover & (nops == 2)
+            multi = two.any(axis=1)
+            # duplicate requested channel among single-option movers (clash):
+            # the requests are single bits, so duplicates are exactly where
+            # their integer sum differs from their bitwise or.  (Pending
+            # movers always have one or two options, so the single-option
+            # ones are ``mover ^ two``; ``x * m`` is the masked-zero select
+            # throughout this module -- it skips np.where's much slower
+            # buffered three-operand path.)
+            sreq = req * (mover ^ two)
+            if self._sum_safe:
+                clash = np.add.reduce(sreq, axis=1, dtype=np.int64) != orr(sreq, axis=1)
+            else:  # pragma: no cover - needs num_bits near the int64 limit
+                seen1 = np.zeros(act.size, dtype=self._md)
+                dup1 = np.zeros(act.size, dtype=self._md)
+                for j in range(n):
+                    c = sreq[:, j]
+                    dup1 |= seen1 & c
+                    seen1 |= c
+                clash = dup1 != 0
+            branch = has_mover & (multi | clash)
+            det = has_mover & ~branch
+            nxt0 = self._f_nxt0.take(idx)
+            mv0 = self._f_mv0.take(idx)
+            # --- deterministic rounds: apply every mover simultaneously.
+            # All acquired bits of one round are pairwise distinct (clash
+            # and contested-channel rounds branch instead) and disjoint
+            # from the released bits (an acquired channel was free at scan
+            # time), so the batched XOR mask update equals the serial one. ---
+            has_det = bool(det.any())
+            if has_det:
+                want = orr(req * blocked, axis=1)
+                dmask = mover & det[:, None]
+                cfg = cfg ^ ((cfg ^ nxt0) * dmask)
+                delta = orr(mv0 * dmask, axis=1)
+                mask = mask ^ delta
+                pend = pend & ~dmask
+                # short-circuit: nothing a blocked message wants was freed
+                # (the requested bit was occupied at scan time, so only the
+                # released half of ``delta`` can intersect ``want``)
+                det_done = det & (~pend.any(axis=1) | ((delta & want) == 0))
+            else:
+                det_done = np.zeros(act.size, dtype=bool)
+            emit_now = ~has_mover | det_done
+            # write back what actually changed (branch rows get replaced
+            # below and emitted rows are tombstones, so stale is fine)
+            if has_det:
+                wcfg[act] = cfg
+                wmask[act] = mask
+            if has_det or done_any:
+                wpend[act] = pend
+            wem[act[emit_now]] = True
+            bsel = np.flatnonzero(branch)
+            if bsel.size == 0:
+                continue
+            cfg_b = cfg[bsel]
+            ch_cfg, ch_pend, ch_mask, ch_moved, ch_starts, patch, row_counts = (
+                self._branch_children(
+                    cfg_b,
+                    pend[bsel],
+                    mask[bsel],
+                    mover[bsel],
+                    nops[bsel],
+                    # branch rows are never det rows, so the pre-round
+                    # flat index is still valid for them
+                    self._f_ch0.take(idx[bsel]),
+                    nxt0[bsel],
+                    mv0[bsel],
+                )
+            )
+            # splice: each branch row is replaced in place by its children
+            # (combo order), preserving depth-first leaf order; the child
+            # blocks are scattered straight into the spliced arrays
+            total = wcfg.shape[0]
+            bglobal = act[bsel]
+            counts = np.ones(total, dtype=np.int64)
+            counts[bglobal] = row_counts
+            pos = np.repeat(np.arange(total, dtype=ID), counts)
+            is_branch_row = np.zeros(total, dtype=bool)
+            is_branch_row[bglobal] = True
+            slots = np.flatnonzero(is_branch_row[pos])
+            wcfg = wcfg[pos]
+            wpend = wpend[pos]
+            wmask = wmask[pos]
+            if wroot is not None:
+                wroot = wroot[pos]
+            wem = wem[pos]
+            sl0 = slots if ch_starts is None else slots[ch_starts]
+            wcfg[sl0] = ch_cfg
+            wpend[sl0] = ch_pend
+            wmask[sl0] = ch_mask
+            wem[sl0] = ~ch_moved
+            if patch is not None:
+                cs, p_cfg, p_pend, p_mask, p_moved = patch
+                slc = slots[cs]
+                wcfg[slc] = p_cfg
+                wpend[slc] = p_pend
+                wmask[slc] = p_mask
+                wem[slc] = ~p_moved
+        return wcfg, wmask, wroot
+
+    def _branch_children(
+        self,
+        cfg: np.ndarray,
+        pend: np.ndarray,
+        mask: np.ndarray,
+        mover: np.ndarray,
+        nops: np.ndarray,
+        ch0: np.ndarray,
+        nxt0: np.ndarray,
+        mv0: np.ndarray,
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray | None,
+        tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None,
+        np.ndarray,
+    ]:
+        """Children of one wave's branching rows, reference combo order.
+
+        Returns ``(cfg, pend, mask, moved, starts, patch, row_counts)``.
+        Children of row ``r`` are contiguous and in the order
+        ``product(*bopts)`` (then ``product`` over arbitration winners)
+        would yield them; ``row_counts[r]`` is how many.  The first four
+        arrays hold the joint-choice (phase A) children; when arbitration
+        multiplied some of them into several winner-set children, ``starts``
+        maps each phase-A child to its first child slot and ``patch`` is
+        ``(cs, cfg, pend, mask, moved)`` rows to scatter at child slots
+        ``cs`` (both ``None`` when no child is contested, where child slots
+        are exactly the phase-A children).  ``moved`` False marks a round
+        fixpoint: the child is a finished emission, not a live node.
+
+        Arbitration is fully vectorized as mixed-radix arithmetic: within
+        one combo child, number the contested channels by first-requester
+        column and each channel's requesters by column; winner set ``w``
+        (of ``prod(counts)``) picks, on the channel whose later-channel
+        counts multiply to ``suffix``, the requester of rank
+        ``(w // suffix) % count`` -- exactly the reference's
+        ``product(*requests.values())`` enumeration order.
+        """
+        n = self._n
+        nrows = cfg.shape[0]
+        orr = np.bitwise_or.reduce
+        # branching movers: a genuine second option, or first-option channel
+        # requested by more than one mover this round
+        chm = ch0 * mover
+        # rows where two movers share a first-option channel (sum != or of
+        # the single-bit channels); everywhere else branching is purely the
+        # two-option movers and no child can need arbitration
+        if self._sum_safe:
+            coll = np.add.reduce(chm, axis=1, dtype=np.int64) != orr(chm, axis=1)
+            crows = np.flatnonzero(coll)
+        else:  # pragma: no cover - needs num_bits near the int64 limit
+            s1 = np.zeros(nrows, dtype=self._md)
+            s2f = np.zeros(nrows, dtype=self._md)
+            for j in range(n):
+                c = chm[:, j]
+                s2f |= s1 & c
+                s1 |= c
+            crows = np.flatnonzero(s2f != 0)
+        isb = mover & (nops == 2)
+        if crows.size:
+            chc = chm[crows]
+            s1 = np.zeros(crows.size, dtype=self._md)
+            s2 = np.zeros(crows.size, dtype=self._md)
+            for j in range(n):
+                c = chc[:, j]
+                s2 |= s1 & c
+                s1 |= c
+            ch0r = ch0[crows]
+            isb[crows] |= mover[crows] & (ch0r != 0) & ((s2[:, None] & ch0r) != 0)
+        # remaining movers are deterministic: fold them in first (pre-apply)
+        pre = mover & ~isb
+        pre_any = pre.any(axis=1)
+        cfg = cfg ^ ((cfg ^ nxt0) * pre)
+        mask = mask ^ orr(mv0 * pre, axis=1)
+        pend = pend & ~pre
+        # second-option tables (valid at branching-mover columns only;
+        # the index must follow the pre-apply, which changed cfg)
+        idx = cfg + self._coloff
+        nxt1 = self._f_nxt1.take(idx)
+        wait1 = self._f_wait1.take(idx)
+        # --- phase A: joint choices of the two-option movers.  Child c of
+        # a row picks option (c >> suffix) & 1 per mover, suffix = number
+        # of two-option movers after it, matching product(*bopts) (first
+        # mover varies slowest). ---
+        two = isb & (nops == 2)
+        k2 = two.sum(axis=1)
+        ccount = np.left_shift(np.int64(1), k2)
+        total = int(ccount.sum())
+        rowrep = np.repeat(np.arange(nrows, dtype=np.int64), ccount)
+        base = np.concatenate(([0], np.cumsum(ccount)[:-1]))
+        rank = np.arange(total, dtype=np.int64) - base[rowrep]
+        if self._spread is not None:
+            code = np.packbits(two, axis=1, bitorder="little")[:, 0]
+            take1 = self._spread[code[rowrep], rank]
+        else:  # pragma: no cover - exercised only for n > 8
+            suffix = two[:, ::-1].cumsum(axis=1)[:, ::-1] - two
+            take1 = (((rank[:, None] >> suffix[rowrep]) & 1) != 0) & two[rowrep]
+        take0 = isb[rowrep] & ~take1
+        # --- contested channels per child (arbitration needed): only
+        # children of colliding rows are candidates, so work the subset ---
+        if crows.size == 0:
+            contested = None
+        else:
+            iscoll = np.zeros(nrows, dtype=bool)
+            iscoll[crows] = True
+            csel = np.flatnonzero(iscoll[rowrep])
+            ch0c = ch0[rowrep[csel]] * take0[csel]
+            s1c = np.zeros(csel.size, dtype=self._md)
+            dupc = np.zeros(csel.size, dtype=self._md)
+            for j in range(n):
+                c = ch0c[:, j]
+                dupc |= s1c & c
+                s1c |= c
+            dnz = np.flatnonzero(dupc != 0)
+            contested = csel[dnz]
+            cc = ch0c[dnz]
+            dupsel = dupc[dnz]
+        # --- phase C (vectorized): apply the uncontested children ---
+        stall1 = take1 & ~wait1[rowrep]
+        # take0 and stall1 are disjoint (take0 excludes take1, stall1 is a
+        # subset of it), so the two xor corrections never touch the same cell
+        cfgr = cfg[rowrep]
+        ncfg = (
+            cfgr
+            ^ ((cfgr ^ nxt0[rowrep]) * take0)
+            ^ ((cfgr ^ nxt1[rowrep]) * stall1)
+        )
+        npend = pend[rowrep] & ~(take0 | stall1)
+        nmask = mask[rowrep] ^ orr(mv0[rowrep] * take0, axis=1)
+        nmoved = pre_any[rowrep] | take0.any(axis=1)
+        if contested is None or contested.size == 0:
+            return ncfg, npend, nmask, nmoved, None, None, ccount
+        # --- phase B (vectorized): arbitration over contested children via
+        # the mixed-radix scheme from the docstring.  Per contested child,
+        # count/rank the requesters of each contested channel (pairwise
+        # column comparisons; n is small) and suffix-multiply the counts in
+        # leader-column order, so each winner set is one integer whose
+        # digits are the per-channel winner ranks. ---
+        m = contested.size
+        # (m, n, n) same-channel matrix: eq[t, j, j2] when movers j and j2
+        # of child t both chose channel cc[t, j] != 0
+        eq = (cc[:, :, None] == cc[:, None, :]) & (cc != 0)[:, :, None]
+        cnt = eq.sum(axis=2, dtype=np.int64)  # requesters on j's channel
+        rank = (eq & self._lt).sum(axis=2, dtype=np.int64)  # j's arrival rank
+        fp = eq.argmax(axis=2)  # first-requester column of j's channel
+        np.maximum(cnt, 1, out=cnt)
+        contender = (cc & dupsel[:, None]) != 0
+        leader = contender & (rank == 0)
+        run = np.ones(m, dtype=np.int64)
+        suff = np.empty((m, n), dtype=np.int64)
+        for j in range(n - 1, -1, -1):
+            suff[:, j] = run
+            run = np.where(leader[:, j], run * cnt[:, j], run)
+        sfx = np.take_along_axis(suff, fp, axis=1)
+        # contested children are rare: instead of re-materializing every
+        # row through a repeat, hand the caller the phase-A block plus a
+        # patch of winner-set rows with their child-slot positions
+        counts2 = np.ones(total, dtype=np.int64)
+        counts2[contested] = run
+        starts = np.cumsum(counts2) - counts2
+        nslots = int(run.sum())
+        ti = np.repeat(np.arange(m, dtype=np.int64), run)
+        wvec = np.arange(nslots, dtype=np.int64) - np.repeat(
+            np.cumsum(run) - run, run
+        )
+        cs = starts[contested][ti] + wvec
+        w = wvec[:, None]
+        win = contender[ti] & ((w // sfx[ti]) % cnt[ti] == rank[ti])
+        lose = contender[ti] & ~win
+        c_of = contested[ti]
+        r = rowrep[c_of]
+        apply0 = take0[c_of] & ~lose
+        st1 = stall1[c_of]
+        cfgc = cfg[r]
+        p_cfg = cfgc ^ ((cfgc ^ nxt0[r]) * apply0) ^ ((cfgc ^ nxt1[r]) * st1)
+        p_pend = pend[r] & ~(apply0 | st1 | lose)
+        p_mask = mask[r] ^ orr(mv0[r] * apply0, axis=1)
+        p_moved = pre_any[r] | apply0.any(axis=1)
+        row_counts = ccount.copy()
+        np.add.at(row_counts, rowrep[contested], run - 1)
+        return (
+            ncfg,
+            npend,
+            nmask,
+            nmoved,
+            starts,
+            (cs, p_cfg, p_pend, p_mask, p_moved),
+            row_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # searches
+    # ------------------------------------------------------------------
+    def search(
+        self, *, max_states: int = 2_000_000, symmetry_reduction: bool = True
+    ) -> tuple[bool, int]:
+        """Level-vectorized BFS; bit-identical to ``FastEngine.search``."""
+        from repro.analysis.reachability import SearchLimitExceeded
+
+        if not self.vectorizable:
+            COUNTERS["vectorpath.fallback.searches"] += 1
+            result = self.fast.search(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
+            )
+            self.last_search_depth = self.fast.last_search_depth
+            return result
+
+        f = self.fast
+        canon = f.canon if symmetry_reduction else None
+        init = f.init_idx
+        visited: set[tuple] = {canon(init) if canon else init}
+        init_mask = 0
+        for i, ci in enumerate(init):
+            init_mask |= f._occm[i][ci]
+        count = 1
+        depth = 0
+        peak = 1
+        stats = {"wide": 0, "narrow": 0, "emitted": 0, "unique": 0}
+        lst: list[tuple[tuple, int]] = [(init, init_mask)]
+        emissions = f._emissions
+        phases = self.phase_seconds
+        try:
+            # --- narrow prologue: fused fast-engine expansion against a
+            # Python-set visited store (identical per-state semantics) ---
+            while lst and len(lst) < MIN_VECTOR_FRONTIER:
+                if len(lst) > peak:
+                    peak = len(lst)
+                stats["narrow"] += 1
+                t0 = time.perf_counter()
+                nxt_lst: list[tuple[tuple, int]] = []
+                push = nxt_lst.append
+                for state, mask in lst:
+                    for nxt, dead, nmask in emissions(state, visited, canon, mask):
+                        count += 1
+                        if count > max_states:
+                            raise SearchLimitExceeded(
+                                f"exceeded {max_states} states; tighten the "
+                                "scenario or raise the cap"
+                            )
+                        if dead:
+                            self.last_search_depth = depth + 1
+                            return True, count
+                        push((nxt, nmask))
+                lst = nxt_lst
+                phases["narrow"] += time.perf_counter() - t0
+                depth += 1
+            if not lst:
+                self.last_search_depth = depth
+                return False, count
+            # --- one-way switch to wide mode: the visited store becomes a
+            # sorted packed-int64 key array, probed with searchsorted; tail
+            # levels below the threshold stay in the wave machine (its
+            # per-level overhead is bounded, and converting the store back
+            # to a Python set would not be) ---
+            vis_arr = self._pack_set(visited)
+            visited.clear()
+            arr_cfg = np.asarray([s for s, _ in lst], dtype=ID)
+            arr_mask = np.asarray([m for _, m in lst], dtype=self._md)
+            while arr_cfg.shape[0]:
+                if arr_cfg.shape[0] > peak:
+                    peak = arr_cfg.shape[0]
+                stats["wide"] += 1
+                t0 = time.perf_counter()
+                em_cfg, em_mask, _roots = self._expand_level(
+                    arr_cfg, arr_mask, need_roots=False
+                )
+                t1 = time.perf_counter()
+                keys = self._pack_rows(
+                    self._canon_rows(em_cfg) if canon is not None else em_cfg
+                )
+                first, cand = _first_occurrences(keys)
+                t2 = time.perf_counter()
+                member = _sorted_member(vis_arr, cand)
+                fresh = ~member
+                sel = first[fresh]
+                sel.sort()  # restore emission order over the survivors
+                nd = int(sel.size)
+                if nd:
+                    # merge the new-key block (already sorted: cand is in
+                    # key order) in one linear pass via np.insert instead
+                    # of re-sorting the whole store
+                    news = cand[fresh]
+                    vis_arr = np.insert(
+                        vis_arr, np.searchsorted(vis_arr, news), news
+                    )
+                t3 = time.perf_counter()
+                stats["emitted"] += em_cfg.shape[0]
+                stats["unique"] += nd
+                phases["expand"] += t1 - t0
+                phases["dedup"] += t2 - t1
+                phases["visited"] += t3 - t2
+                if nd == 0:
+                    arr_cfg = em_cfg[:0]
+                    arr_mask = em_mask[:0]
+                    depth += 1
+                    continue
+                ncfg = em_cfg[sel]
+                nmask = em_mask[sel]
+                deadf = self._deadlock_flags(ncfg, nmask)
+                phases["deadlock"] += time.perf_counter() - t3
+                # exact serial count semantics: the j-th new state (1-based)
+                # raises when count + j > max_states, *before* its deadlock
+                # verdict would return
+                allow = max_states - count
+                if deadf.any():
+                    j = int(np.argmax(deadf))
+                    if j < allow:
+                        self.last_search_depth = depth + 1
+                        return True, count + j + 1
+                    raise SearchLimitExceeded(
+                        f"exceeded {max_states} states; tighten the "
+                        "scenario or raise the cap"
+                    )
+                if nd > allow:
+                    raise SearchLimitExceeded(
+                        f"exceeded {max_states} states; tighten the "
+                        "scenario or raise the cap"
+                    )
+                count += nd
+                arr_cfg = ncfg
+                arr_mask = nmask
+                depth += 1
+            self.last_search_depth = depth
+            return False, count
+        finally:
+            self.last_peak_frontier = peak
+            COUNTERS["vectorpath.levels.wide"] += stats["wide"]
+            COUNTERS["vectorpath.levels.narrow"] += stats["narrow"]
+            COUNTERS["vectorpath.emitted"] += stats["emitted"]
+            COUNTERS["vectorpath.unique"] += stats["unique"]
+
+    def search_witness(
+        self, *, max_states: int = 2_000_000, symmetry_reduction: bool = False
+    ) -> tuple[bool, int, list | None, list | None, tuple[int, ...]]:
+        """Level-vectorized witness BFS; mirrors ``FastEngine.search_witness``."""
+        from repro.analysis.reachability import SearchLimitExceeded
+
+        if not self.vectorizable:
+            COUNTERS["vectorpath.fallback.searches"] += 1
+            return self.fast.search_witness(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
+            )
+
+        f = self.fast
+        canon = f.canon if symmetry_reduction else None
+        init = f.init_idx
+        visited: set[tuple] = {canon(init) if canon else init}
+        parent: dict[tuple, tuple] = {}
+        init_mask = 0
+        for i, ci in enumerate(init):
+            init_mask |= f._occm[i][ci]
+        count = 1
+        lst: list[tuple[tuple, int]] = [(init, init_mask)]
+        emissions = f._emissions
+        # narrow prologue (Python-set visited + tuple parent pointers)
+        while lst and len(lst) < MIN_VECTOR_FRONTIER:
+            nxt_lst: list[tuple[tuple, int]] = []
+            push = nxt_lst.append
+            for state, mask in lst:
+                for nxt, dead, nmask in emissions(state, visited, canon, mask):
+                    count += 1
+                    if count > max_states:
+                        raise SearchLimitExceeded(
+                            f"exceeded {max_states} states; tighten the "
+                            "scenario or raise the cap"
+                        )
+                    parent[nxt] = state
+                    if dead:
+                        chain = self._chain_from_dict(parent, init, nxt)
+                        return self._witness_from_chain(chain, count, dead)
+                    push((nxt, nmask))
+            lst = nxt_lst
+        if not lst:
+            return False, count, None, None, ()
+        # wide mode: packed visited keys plus per-level packed parent-edge
+        # arrays (child key, parent key) in the raw index domain
+        vis_arr = self._pack_set(visited)
+        visited.clear()
+        wit: list[tuple[np.ndarray, np.ndarray]] = []
+        arr_cfg = np.asarray([s for s, _ in lst], dtype=ID)
+        arr_mask = np.asarray([m for _, m in lst], dtype=self._md)
+        while arr_cfg.shape[0]:
+            em_cfg, em_mask, em_root = self._expand_level(arr_cfg, arr_mask)
+            assert em_root is not None  # need_roots defaults on
+            keys = self._pack_rows(
+                self._canon_rows(em_cfg) if canon is not None else em_cfg
+            )
+            first, cand = _first_occurrences(keys)
+            member = _sorted_member(vis_arr, cand)
+            fresh = ~member
+            sel = first[fresh]
+            sel.sort()  # restore emission order over the survivors
+            nd = int(sel.size)
+            if nd == 0:
+                arr_cfg = em_cfg[:0]
+                arr_mask = em_mask[:0]
+                continue
+            news = cand[fresh]  # already sorted: cand is in key order
+            vis_arr = np.insert(vis_arr, np.searchsorted(vis_arr, news), news)
+            ncfg = em_cfg[sel]
+            nmask = em_mask[sel]
+            cpack = self._pack_rows(ncfg)
+            ppack = self._pack_rows(arr_cfg[em_root[sel]])
+            deadf = self._deadlock_flags(ncfg, nmask)
+            allow = max_states - count
+            if deadf.any():
+                j = int(np.argmax(deadf))
+                if j < allow:
+                    wit.append((cpack[: j + 1], ppack[: j + 1]))
+                    st = tuple(ncfg[j].tolist())
+                    dead_t = f._deadlocked(st, int(nmask[j]))
+                    chain = self._chain_from_levels(wit, parent, init, int(cpack[j]))
+                    return self._witness_from_chain(chain, count + j + 1, dead_t)
+                raise SearchLimitExceeded(
+                    f"exceeded {max_states} states; tighten the "
+                    "scenario or raise the cap"
+                )
+            if nd > allow:
+                raise SearchLimitExceeded(
+                    f"exceeded {max_states} states; tighten the "
+                    "scenario or raise the cap"
+                )
+            wit.append((cpack, ppack))
+            count += nd
+            arr_cfg = ncfg
+            arr_mask = nmask
+        return False, count, None, None, ()
+
+    def _chain_from_dict(
+        self, parent: dict[tuple, tuple], init: tuple, final: tuple
+    ) -> list[tuple]:
+        """``init..final`` state chain out of tuple parent pointers."""
+        chain = [final]
+        cur = final
+        while cur != init:
+            cur = parent[cur]
+            chain.append(cur)
+        chain.reverse()
+        return chain
+
+    def _chain_from_levels(
+        self,
+        wit: list[tuple[np.ndarray, np.ndarray]],
+        parent: dict[tuple, tuple],
+        init: tuple,
+        final_key: int,
+    ) -> list[tuple]:
+        """``init..final`` chain: walk the per-level packed edge arrays back
+        to the prologue frontier, then the tuple parent pointers to init."""
+        packs = [final_key]
+        for cpack, ppack in reversed(wit):
+            hit = int(np.flatnonzero(cpack == packs[-1])[0])
+            packs.append(int(ppack[hit]))
+        packs.reverse()  # prologue-frontier state first
+        tail = [self._unpack(p) for p in packs]
+        return self._chain_from_dict(parent, init, tail[0])[:-1] + tail
+
+    def _witness_from_chain(
+        self, chain: list[tuple], count: int, dead: tuple[int, ...]
+    ) -> tuple[bool, int, list, list, tuple[int, ...]]:
+        """Labels + decoded states for a chain, shared with the fast
+        engine's index-domain scheme (labels recovered on the path only)."""
+        f = self.fast
+        decode = f.decode
+        states = [decode(s) for s in chain[1:]]
+        steps: list[tuple[str, ...]] = []
+        for prev, raw in zip(chain, states):
+            praw = decode(prev)
+            for s, acts, _d in f.successors_full(praw):
+                if s == raw:
+                    steps.append(acts)
+                    break
+            else:  # pragma: no cover - parent chain is consistent
+                raise AssertionError("witness edge lost")
+        return True, count, steps, states, dead

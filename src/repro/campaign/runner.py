@@ -51,6 +51,10 @@ class RunnerConfig:
     #: worker processes for frontier-parallel searches *inside* one task;
     #: execution-only (never part of task identity or the cache key)
     search_jobs: int = 1
+    #: search engine (fast/vector/reference) used inside tasks; ``None``
+    #: defers to ``REPRO_SEARCH_ENGINE``/the default.  Execution-only for
+    #: the same reason: the engines are pinned bit-identical.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -61,13 +65,18 @@ class RunnerConfig:
             raise ValueError("task_timeout must be positive")
         if self.search_jobs < 1:
             raise ValueError("search_jobs must be >= 1")
+        if self.engine not in (None, "fast", "vector", "reference"):
+            raise ValueError(
+                f"unknown search engine {self.engine!r}; "
+                "use 'fast', 'vector' or 'reference'"
+            )
 
 
-def _pool_worker(payload: dict, search_jobs: int = 1) -> dict:
+def _pool_worker(payload: dict, search_jobs: int = 1, engine: str | None = None) -> dict:
     """Worker-process entry: JSON in, JSON out (always picklable)."""
     task = CampaignTask.from_json(payload)
     return execute_task(
-        task, worker=f"pid{os.getpid()}", search_jobs=search_jobs
+        task, worker=f"pid{os.getpid()}", search_jobs=search_jobs, engine=engine
     ).to_json()
 
 
@@ -97,14 +106,17 @@ class _WaveExecutor:
         if not tasks:
             return []
         jobs = self.config.search_jobs
+        engine = self.config.engine
         if self.serial_forced:
             return [
-                execute_task(t, worker="serial", search_jobs=jobs) for t in tasks
+                execute_task(t, worker="serial", search_jobs=jobs, engine=engine)
+                for t in tasks
             ]
         return self._run_pool(tasks)
 
     def _run_pool(self, tasks: Sequence[CampaignTask]) -> list[TaskResult]:
         jobs = self.config.search_jobs
+        engine = self.config.engine
         try:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -112,19 +124,26 @@ class _WaveExecutor:
         except Exception:  # noqa: BLE001 - environment without process support
             self.serial_forced = True
             return [
-                execute_task(t, worker="serial", search_jobs=jobs) for t in tasks
+                execute_task(t, worker="serial", search_jobs=jobs, engine=engine)
+                for t in tasks
             ]
 
         results: list[TaskResult] = []
         broken = False
         try:
             futures = [
-                (executor.submit(_pool_worker, t.to_json(), jobs), t) for t in tasks
+                (executor.submit(_pool_worker, t.to_json(), jobs, engine), t)
+                for t in tasks
             ]
             for fut, task in futures:
                 if broken:
                     results.append(
-                        execute_task(task, worker="serial-fallback", search_jobs=jobs)
+                        execute_task(
+                            task,
+                            worker="serial-fallback",
+                            search_jobs=jobs,
+                            engine=engine,
+                        )
                     )
                     continue
                 try:

@@ -272,7 +272,7 @@ class TaskResult:
 # execution (module-level: must be importable/picklable from workers)
 # ----------------------------------------------------------------------
 def _run_reachability(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.analysis import SystemSpec, search_deadlock
 
@@ -282,6 +282,7 @@ def _run_reachability(
         max_states=int(p.get("max_states", 4_000_000)),
         find_witness=False,
         jobs=search_jobs,
+        engine=engine,
     )
     verdict = "deadlock" if res.deadlock_reachable else "unreachable"
     return verdict, {
@@ -291,7 +292,7 @@ def _run_reachability(
 
 
 def _run_classify(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.analysis.classify import classify_configuration, classify_cycle
 
@@ -306,6 +307,7 @@ def _run_classify(
             budget=int(p.get("budget", 0)),
             max_states=int(p.get("max_states", 2_000_000)),
             search_jobs=search_jobs,
+            engine=engine,
         )
         verdict = "deadlock" if cls.deadlock_reachable else "unreachable"
         return verdict, {
@@ -320,13 +322,14 @@ def _run_classify(
         length_slack=int(p.get("length_slack", 0)),
         max_states=int(p.get("max_states", 4_000_000)),
         search_jobs=search_jobs,
+        engine=engine,
     )
     verdict = "deadlock" if reachable else "unreachable"
     return verdict, {"states_explored": res.states_explored}
 
 
 def _run_min_delay(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.analysis.delay import min_delay_to_deadlock
 
@@ -335,6 +338,7 @@ def _run_min_delay(
         max_delay=int(p.get("max_delay", 8)),
         max_states=int(p.get("max_states", 8_000_000)),
         search_jobs=search_jobs,
+        engine=engine,
     )
     states = sum(r.states_explored for r in res.results.values())
     if res.min_delay is None:
@@ -350,7 +354,7 @@ def _run_min_delay(
 
 
 def _run_simulate(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.sim import SimConfig, Simulator
 
@@ -374,7 +378,7 @@ def _run_simulate(
 
 
 def _run_cdg(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.cdg import build_cdg, dally_seitz_numbering, is_acyclic, verify_numbering
 
@@ -390,7 +394,7 @@ def _run_cdg(
 
 
 def _run_lint(
-    bundle, p: dict[str, Any], search_jobs: int = 1
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
 ) -> tuple[str, dict[str, Any]]:
     from repro.lint import lint_algorithm, lint_messages
 
@@ -423,7 +427,11 @@ _KIND_RUNNERS = {
 
 
 def execute_task(
-    task: CampaignTask, *, worker: str = "", search_jobs: int = 1
+    task: CampaignTask,
+    *,
+    worker: str = "",
+    search_jobs: int = 1,
+    engine: str | None = None,
 ) -> TaskResult:
     """Build the task's scenario and run its analysis.
 
@@ -432,10 +440,12 @@ def execute_task(
     thousand-task campaign.  Infrastructure errors (pool breakage,
     timeouts) are the runner's concern.
 
-    ``search_jobs`` is an *execution* knob (worker processes for
-    frontier-parallel reachability searches inside a task), deliberately
-    not a task parameter: it never enters the content hash, so cached
-    results stay valid whatever parallelism produced them.
+    ``search_jobs`` and ``engine`` are *execution* knobs (worker
+    processes for frontier-parallel searches, and the search engine --
+    fast/vector/reference -- used inside a task), deliberately not task
+    parameters: the engines are pinned bit-identical by the differential
+    suites, so neither knob enters the content hash and cached results
+    stay valid whatever execution strategy produced them.
     """
     from repro.campaign.scenarios import build_scenario
     from repro.obs import get as _obs_get
@@ -452,7 +462,7 @@ def execute_task(
     t0 = time.perf_counter()
     try:
         bundle = build_scenario(task.scenario, p)
-        verdict, detail = _KIND_RUNNERS[task.kind](bundle, p, search_jobs)
+        verdict, detail = _KIND_RUNNERS[task.kind](bundle, p, search_jobs, engine)
         detail.update(bundle.detail)
         result = TaskResult(
             task_hash=task.task_hash,

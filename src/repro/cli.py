@@ -154,6 +154,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         max_states=args.max_states,
         find_witness=args.witness,
         jobs=args.search_jobs,
+        engine=args.search_engine,
     )
     verdict = "deadlock" if res.deadlock_reachable else "unreachable"
     note = _certificate_note(res.certificate, res.states_explored == 0)
@@ -221,6 +222,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             budget=args.budget,
             max_states=args.max_states,
             search_jobs=args.search_jobs,
+            engine=args.search_engine,
         )
         verdict = "deadlock" if cls.deadlock_reachable else "false-resource-cycle"
         note = _certificate_note(cls.certificate, cls.scenarios_tested == 0)
@@ -266,6 +268,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         length_slack=args.length_slack,
         max_states=args.max_states,
         search_jobs=args.search_jobs,
+        engine=args.search_engine,
     )
     verdict = "deadlock" if reachable else "unreachable"
     note = _certificate_note(res.certificate, res.states_explored == 0)
@@ -316,7 +319,11 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from repro.experiments import render_table, run_fig1_experiment
 
-    res = run_fig1_experiment(max_delay=args.max_delay, search_jobs=args.search_jobs)
+    res = run_fig1_experiment(
+        max_delay=args.max_delay,
+        search_jobs=args.search_jobs,
+        engine=args.search_engine,
+    )
     print(render_table(res.summary_rows(), title="E1: Figure 1 / Theorem 1"))
     print()
     print("\n".join(res.narrative))
@@ -454,6 +461,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             task_timeout=args.timeout,
             retries=args.retries,
             search_jobs=args.search_jobs,
+            engine=args.search_engine,
         )
         cache = (
             None
@@ -785,6 +793,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             window=args.window_ms / 1000.0,
             jobs=args.jobs,
             search_jobs=args.search_jobs,
+            search_engine=args.search_engine,
             retries=args.retries,
             task_timeout=args.timeout,
             spec=args.spec,
@@ -821,6 +830,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 worker_id=args.worker_id,
                 jobs=args.jobs,
                 search_jobs=args.search_jobs,
+                search_engine=args.search_engine,
                 limit=args.limit,
                 cache=cache,
             )
@@ -902,6 +912,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for frontier-parallel reachability "
             "searches (default 1: serial; parallel pays only on "
             "multi-core machines and large frontiers)",
+        )
+        p.add_argument(
+            "--search-engine", default=None,
+            choices=["fast", "vector", "reference"],
+            help="reachability search engine (default: REPRO_SEARCH_ENGINE "
+            "or 'fast'); all engines are pinned bit-identical, so this is "
+            "purely an execution knob",
         )
 
     def add_telemetry_flags(p: argparse.ArgumentParser) -> None:

@@ -83,7 +83,11 @@ class Fig1Result:
 
 
 def run_fig1_experiment(
-    *, max_delay: int = 6, with_copies: bool = True, search_jobs: int = 1
+    *,
+    max_delay: int = 6,
+    with_copies: bool = True,
+    search_jobs: int = 1,
+    engine: str | None = None,
 ) -> Fig1Result:
     """Run the full E1 battery.  Takes a few seconds.
 
@@ -100,7 +104,7 @@ def run_fig1_experiment(
     props = analyze_properties(alg, pairs + [("P3", "D1"), ("Src", "X1"), ("N*", "D2")])
 
     msgs = cdn.checker_messages()
-    sync = search_deadlock(SystemSpec.uniform(msgs, budget=0))
+    sync = search_deadlock(SystemSpec.uniform(msgs, budget=0), engine=engine)
 
     copies_ok = True
     if with_copies:
@@ -113,11 +117,15 @@ def run_fig1_experiment(
             max_states=8_000_000,
             find_witness=False,
             jobs=search_jobs,
+            engine=engine,
         ).deadlock_reachable
 
     longer = [CheckerMessage(m.path, m.length + 1, m.tag) for m in msgs]
     longer_ok = not search_deadlock(
-        SystemSpec.uniform(longer, budget=0), find_witness=False, jobs=search_jobs
+        SystemSpec.uniform(longer, budget=0),
+        find_witness=False,
+        jobs=search_jobs,
+        engine=engine,
     ).deadlock_reachable
 
     # analytic model on the sparse geometry
@@ -131,7 +139,9 @@ def run_fig1_experiment(
     ]
     analytic = analytic_schedule_feasible(cycle_specs)
 
-    delay = min_delay_to_deadlock(msgs, max_delay=max_delay, search_jobs=search_jobs)
+    delay = min_delay_to_deadlock(
+        msgs, max_delay=max_delay, search_jobs=search_jobs, engine=engine
+    )
     replay_ok = False
     if delay.min_delay is not None:
         witness = delay.results[delay.min_delay].witness

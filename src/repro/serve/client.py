@@ -213,6 +213,7 @@ def run_worker(
     worker_id: str | None = None,
     jobs: int = 1,
     search_jobs: int = 1,
+    search_engine: str | None = None,
     limit: int | None = None,
     cache: CacheBackend | None = None,
     timeout: float = 600.0,
@@ -229,7 +230,9 @@ def run_worker(
     assignment = client.register(worker).raise_for_status().payload
     index, count = parse_shard(assignment["shard"])
     tasks = shard_tasks(build_spec(assignment["spec"], limit=limit), index, count)
-    config = RunnerConfig(max_workers=jobs, search_jobs=search_jobs, retries=0)
+    config = RunnerConfig(
+        max_workers=jobs, search_jobs=search_jobs, engine=search_engine, retries=0
+    )
     results, summary = run_campaign(
         tasks,
         cache=cache,

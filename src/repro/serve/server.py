@@ -143,6 +143,9 @@ class ServeConfig:
     window: float = 0.02
     jobs: int = 1
     search_jobs: int = 1
+    #: search engine (fast/vector/reference) for in-task searches; None
+    #: defers to REPRO_SEARCH_ENGINE / the default
+    search_engine: str | None = None
     retries: int = 0
     task_timeout: float | None = None
     #: coordinator work order (enabled when shards >= 1)
@@ -194,6 +197,7 @@ class ReproServer:
             retries=self.config.retries,
             task_timeout=self.config.task_timeout,
             search_jobs=self.config.search_jobs,
+            engine=self.config.search_engine,
         )
         self.coordinator: ShardCoordinator | None = None
         if self.config.shards >= 1:
@@ -586,6 +590,7 @@ class ReproServer:
                 "window_s": self.config.window,
                 "jobs": self.config.jobs,
                 "search_jobs": self.config.search_jobs,
+                "search_engine": self.config.search_engine,
             },
             "batcher": self.batcher.stats.to_json(),
             "cache": self._cache_status(),

@@ -1,0 +1,308 @@
+"""Differential pin: the vector search core is bit-identical to its peers.
+
+The whole-frontier :class:`~repro.analysis.vectorpath.VectorEngine`
+replaces the per-state fast engine on large searches, but both the fast
+engine and the reference implementation stay in the tree as cross-checking
+oracles (``engine=...`` / ``REPRO_SEARCH_ENGINE``).  These tests assert
+three-way equivalence on paper-battery scenarios and on randomly generated
+small specs: identical ``deadlock_reachable`` verdicts, identical
+``states_explored`` counts (symmetry reduction on and off), identical
+:class:`SearchLimitExceeded` behaviour, and witnesses that are equal
+step-for-step across all three engines and replay to a genuine deadlock
+under the *reference* dynamics.
+
+The vector engine only widens once a BFS level reaches
+``MIN_VECTOR_FRONTIER`` states, so several tests monkeypatch the threshold
+to 1 (and shrink ``MAX_DRAIN_ROWS``) to force the wave machine onto the
+small specs this suite can afford to search exhaustively.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.analysis.vectorpath as vectorpath_mod
+from repro.analysis.fastpath import engine_for
+from repro.analysis.frontier import frontier_search
+from repro.analysis.reachability import (
+    SearchLimitExceeded,
+    Witness,
+    search_deadlock,
+)
+from repro.analysis.state import CheckerMessage, SystemSpec
+from repro.analysis.vectorpath import COUNTERS, VectorEngine
+from repro.campaign.scenarios import build_scenario
+
+ENGINES = ("reference", "fast", "vector")
+
+
+@pytest.fixture(autouse=True)
+def _certificates_off(monkeypatch):
+    """These tests pin BFS-engine equivalence; the static-certificate
+    pre-pass would decide several battery specs with zero search states and
+    mask the comparison."""
+    monkeypatch.setenv("REPRO_STATIC_CERTIFICATES", "off")
+
+
+@pytest.fixture()
+def force_wide(monkeypatch):
+    """Drive every level through the wave machine, tail drain included."""
+    monkeypatch.setattr(vectorpath_mod, "MIN_VECTOR_FRONTIER", 1)
+    monkeypatch.setattr(vectorpath_mod, "MAX_DRAIN_ROWS", 2)
+
+
+def _battery_specs() -> list[tuple[str, SystemSpec]]:
+    """Small paper-battery scenarios spanning both verdicts."""
+    fig1 = build_scenario("fig1", {}).messages
+    gen1 = build_scenario("gen", {"m": 1}).messages
+    overlap = build_scenario(
+        "theorem2-overlap", {"ring_n": 6, "entries": (0, 3), "run_lens": (4, 4)}
+    ).messages
+    return [
+        ("fig1-b0", SystemSpec.uniform(fig1, budget=0)),  # unreachable
+        ("fig1-b1", SystemSpec.uniform(fig1, budget=1)),  # deadlock
+        ("gen1-b0", SystemSpec.uniform(gen1, budget=0)),
+        ("gen1-b1", SystemSpec.uniform(gen1, budget=1)),
+        ("thm2-overlap-b0", SystemSpec.uniform(overlap, budget=0)),
+    ]
+
+
+BATTERY = _battery_specs()
+
+
+def _assert_valid_witness(spec: SystemSpec, wit: Witness) -> None:
+    """Replay the witness through the *reference* successor relation."""
+    cur = spec.initial_state()
+    for actions, nxt in zip(wit.steps, wit.states):
+        assert (nxt, actions) in spec.successors(cur), (cur, actions)
+        cur = nxt
+    dead = spec.deadlocked_set(cur)
+    assert dead, "witness does not end in a deadlock"
+    assert dead == wit.deadlocked
+
+
+def _three_way(spec: SystemSpec, **kw):
+    return {
+        eng: search_deadlock(spec, engine=eng, **kw) for eng in ENGINES
+    }
+
+
+@pytest.mark.parametrize("label,spec", BATTERY, ids=[b[0] for b in BATTERY])
+@pytest.mark.parametrize("symmetry", [False, True], ids=["nosym", "sym"])
+def test_battery_verdicts_and_counts(label, spec, symmetry, force_wide):
+    res = _three_way(
+        spec, find_witness=False, symmetry_reduction=symmetry
+    )
+    ref = res["reference"]
+    for eng in ("fast", "vector"):
+        assert res[eng].deadlock_reachable == ref.deadlock_reachable, eng
+        assert res[eng].states_explored == ref.states_explored, eng
+
+
+@pytest.mark.parametrize("label,spec", BATTERY, ids=[b[0] for b in BATTERY])
+def test_battery_witness_equality_and_replay(label, spec, force_wide):
+    res = _three_way(spec)
+    ref = res["reference"]
+    for eng in ("fast", "vector"):
+        got = res[eng]
+        assert got.deadlock_reachable == ref.deadlock_reachable, eng
+        assert got.states_explored == ref.states_explored, eng
+        if not ref.deadlock_reachable:
+            assert got.witness is None and ref.witness is None
+            continue
+        assert got.witness is not None and ref.witness is not None
+        assert got.witness.steps == ref.witness.steps, eng
+        assert got.witness.states == ref.witness.states, eng
+        assert got.witness.deadlocked == ref.witness.deadlocked, eng
+        _assert_valid_witness(spec, got.witness)
+
+
+@pytest.mark.parametrize("label,spec", BATTERY[:2], ids=["fig1-b0", "fig1-b1"])
+def test_battery_default_thresholds_match(label, spec):
+    """Same pin without forcing: narrow prologue + real threshold values."""
+    res = _three_way(spec, find_witness=False)
+    ref = res["reference"]
+    for eng in ("fast", "vector"):
+        assert res[eng].deadlock_reachable == ref.deadlock_reachable, eng
+        assert res[eng].states_explored == ref.states_explored, eng
+
+
+@pytest.mark.parametrize("cap", [2, 10, 50])
+def test_state_cap_is_engine_independent(cap, force_wide):
+    """SearchLimitExceeded parity: all engines raise at the same count."""
+    spec = BATTERY[0][1]
+    outcomes = {}
+    for eng in ENGINES:
+        try:
+            res = search_deadlock(
+                spec, engine=eng, find_witness=False, max_states=cap
+            )
+            outcomes[eng] = res.states_explored
+        except SearchLimitExceeded:
+            outcomes[eng] = "raised"
+    assert outcomes["vector"] == outcomes["reference"]
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown search engine"):
+        search_deadlock(BATTERY[0][1], engine="warp", find_witness=False)
+
+
+def test_env_var_selects_vector(monkeypatch):
+    """REPRO_SEARCH_ENGINE=vector is the same switch as engine="vector"."""
+    spec = BATTERY[1][1]
+    explicit = search_deadlock(spec, engine="vector", find_witness=False)
+    monkeypatch.setenv("REPRO_SEARCH_ENGINE", "vector")
+    via_env = search_deadlock(spec, find_witness=False)
+    assert via_env.deadlock_reachable == explicit.deadlock_reachable
+    assert via_env.states_explored == explicit.states_explored
+
+
+def test_search_jobs_refuses_vector_engine(force_wide):
+    """jobs>1 + vector: loud refusal (warning + counter), serial result."""
+    spec = BATTERY[0][1]
+    serial = engine_for(spec).search()
+    before = COUNTERS["vectorpath.fallback.jobs"]
+    with pytest.warns(RuntimeWarning, match="does not compose"):
+        par = frontier_search(spec, jobs=2, engine="vector")
+    assert par == serial
+    assert COUNTERS["vectorpath.fallback.jobs"] == before + 1
+    # jobs<=1 is not a refusal: no warning, same result
+    assert frontier_search(spec, jobs=1, engine="vector") == serial
+
+
+def test_search_deadlock_jobs_with_vector_warns(force_wide):
+    spec = BATTERY[0][1]
+    serial = search_deadlock(spec, engine="fast", find_witness=False)
+    with pytest.warns(RuntimeWarning, match="does not compose"):
+        res = search_deadlock(
+            spec, engine="vector", find_witness=False, jobs=2
+        )
+    assert res.states_explored == serial.states_explored
+
+
+def test_classify_and_delay_thread_vector_engine(force_wide):
+    """The engine knob changes execution only: classify/delay results are
+    identical under the vector engine."""
+    from repro.analysis.classify import classify_configuration
+    from repro.analysis.delay import min_delay_to_deadlock
+
+    msgs = build_scenario("fig1", {}).messages
+    by_engine = {}
+    for eng in ("fast", "vector"):
+        reachable, cls_res = classify_configuration(msgs, engine=eng)
+        dly = min_delay_to_deadlock(msgs, max_delay=2, engine=eng)
+        by_engine[eng] = (
+            reachable,
+            cls_res.states_explored,
+            dly.min_delay,
+            {k: r.states_explored for k, r in dly.results.items()},
+        )
+    assert by_engine["vector"] == by_engine["fast"]
+
+
+def test_execute_task_engine_knob_not_in_hash(force_wide):
+    """engine is an execution knob: task identity (and thus the cache key)
+    must not depend on it, while results must not differ either."""
+    from repro.campaign.specs import build_spec
+    from repro.campaign.tasks import execute_task
+
+    task = next(t for t in build_spec("paper-battery") if t.kind == "reachability")
+    fast = execute_task(task, engine="fast")
+    vec = execute_task(task, engine="vector")
+    assert vec.task_hash == fast.task_hash
+    assert vec.detail.get("states_explored") == fast.detail.get(
+        "states_explored"
+    )
+
+
+def test_telemetry_counters_move(force_wide):
+    """A forced-wide search must exercise the wave machine and record
+    emitted/unique dedup volume."""
+    spec = BATTERY[0][1]
+    before = dict(COUNTERS)
+    VectorEngine(spec, fast=engine_for(spec)).search()
+    assert COUNTERS["vectorpath.levels.wide"] > before["vectorpath.levels.wide"]
+    assert COUNTERS["vectorpath.emitted"] > before["vectorpath.emitted"]
+    assert COUNTERS["vectorpath.unique"] > before["vectorpath.unique"]
+    assert COUNTERS["vectorpath.emitted"] >= COUNTERS["vectorpath.unique"]
+
+
+# ----------------------------------------------------------------------
+# randomly generated small specs
+# ----------------------------------------------------------------------
+@st.composite
+def small_specs(draw) -> SystemSpec:
+    num_channels = draw(st.integers(min_value=2, max_value=5))
+    n_msgs = draw(st.integers(min_value=1, max_value=3))
+    messages = []
+    budgets = []
+    for mi in range(n_msgs):
+        plen = draw(st.integers(min_value=1, max_value=min(3, num_channels)))
+        path = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=num_channels - 1),
+                    min_size=plen,
+                    max_size=plen,
+                    unique=True,
+                )
+            )
+        )
+        length = draw(st.integers(min_value=1, max_value=3))
+        messages.append(CheckerMessage(path=path, length=length, tag=f"M{mi}"))
+        budgets.append(draw(st.integers(min_value=0, max_value=2)))
+    return SystemSpec(messages=tuple(messages), budgets=tuple(budgets))
+
+
+@contextmanager
+def _forced_wide():
+    """Hypothesis-safe forced-wide switch (no function-scoped fixtures)."""
+    old = (vectorpath_mod.MIN_VECTOR_FRONTIER, vectorpath_mod.MAX_DRAIN_ROWS)
+    vectorpath_mod.MIN_VECTOR_FRONTIER = 1
+    vectorpath_mod.MAX_DRAIN_ROWS = 2
+    try:
+        yield
+    finally:
+        vectorpath_mod.MIN_VECTOR_FRONTIER, vectorpath_mod.MAX_DRAIN_ROWS = old
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=small_specs(), symmetry=st.booleans())
+def test_random_specs_three_way_counts(spec, symmetry):
+    res = {}
+    with _forced_wide():
+        for eng in ENGINES:
+            try:
+                got = search_deadlock(
+                    spec,
+                    engine=eng,
+                    find_witness=False,
+                    symmetry_reduction=symmetry,
+                    max_states=60_000,
+                )
+                res[eng] = (got.deadlock_reachable, got.states_explored)
+            except SearchLimitExceeded:
+                res[eng] = "raised"
+    assert res["vector"] == res["reference"]
+    assert res["fast"] == res["reference"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=small_specs())
+def test_random_specs_three_way_witnesses(spec):
+    with _forced_wide():
+        ref = search_deadlock(spec, engine="reference", max_states=60_000)
+        for eng in ("fast", "vector"):
+            got = search_deadlock(spec, engine=eng, max_states=60_000)
+            assert got.deadlock_reachable == ref.deadlock_reachable, eng
+            assert got.states_explored == ref.states_explored, eng
+            if ref.deadlock_reachable:
+                assert got.witness is not None and ref.witness is not None
+                assert got.witness.steps == ref.witness.steps, eng
+                assert got.witness.states == ref.witness.states, eng
+                _assert_valid_witness(spec, got.witness)
