@@ -2,8 +2,9 @@
 
 For every requested scenario this script launches
 ``benchmarks/bench_search_core.py`` once per engine under comparison
-(``REPRO_SEARCH_ENGINE=reference|fast|vector``) in fresh interpreter
-processes (cold engine tables, no memo carry-over), takes the best of
+(``REPRO_SEARCH_ENGINE=reference|fast|vector|kernel``) in fresh
+interpreter processes (cold engine tables, no memo carry-over; the
+kernel backend's one-time JIT/C compile is warmed untimed), takes the best of
 ``--repeats`` runs per engine, cross-checks that every engine reports an
 identical ``states`` count (the engines are pinned bit-identical; a
 divergence here is a correctness bug, not a perf result), and writes a
@@ -25,7 +26,13 @@ noise.  ``--min-speedup X`` is the v1 spelling of a wall-clock
 ``fast:reference:X`` gate, kept for compatibility.  The CI
 benchmark-smoke job gates ``fast:reference:1.0`` and ``vector:fast:1.0``
 on the Fig. 1 search -- an optimized engine must never be slower than the
-engine it supersedes.
+engine it supersedes -- and the optional-dependency kernel job gates
+``kernel:vector:1.0`` the same way.
+
+The kernel engine appears in the default engine list only when an
+accelerated backend (numba or a C compiler) is available; the
+interpreted fallback tier is a correctness floor, not a perf claim, and
+benchmarking it would just report a known slowdown.
 """
 
 from __future__ import annotations
@@ -58,6 +65,22 @@ QUICK_SCENARIOS = ("fig1-sync", "thm1-five")
 
 #: engines in the default report, slowest first (speedups read downward)
 DEFAULT_ENGINES = ("reference", "fast", "vector")
+
+
+def default_engines() -> tuple[str, ...]:
+    """The default comparison set, plus the kernel when it would be fast.
+
+    Probing ``kernel_available`` imports from ``src`` -- fine here, the
+    subprocess runs get their own fresh interpreters either way.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis.kernelpath import kernel_available
+    except Exception:
+        return DEFAULT_ENGINES
+    finally:
+        sys.path.pop(0)
+    return DEFAULT_ENGINES + ("kernel",) if kernel_available() else DEFAULT_ENGINES
 
 
 def run_one(scenario: str, engine: str) -> dict[str, Any]:
@@ -149,9 +172,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engines",
-        default=",".join(DEFAULT_ENGINES),
-        help="comma-separated engines to compare, slowest first "
-        f"(default: {','.join(DEFAULT_ENGINES)})",
+        default=None,
+        help="comma-separated engines to compare, slowest first (default: "
+        f"{','.join(DEFAULT_ENGINES)}, plus kernel when an accelerated "
+        "backend is available)",
     )
     parser.add_argument("--repeats", type=int, default=1, help="best-of-N per engine")
     parser.add_argument(
@@ -176,7 +200,10 @@ def main(argv: list[str] | None = None) -> int:
         names = list(QUICK_SCENARIOS)
     else:
         names = list(DEFAULT_SCENARIOS)
-    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    if args.engines:
+        engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    else:
+        engines = list(default_engines())
 
     report: dict[str, Any] = {
         "schema": "bench-search/v2",

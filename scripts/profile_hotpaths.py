@@ -5,9 +5,12 @@ Usage::
     python scripts/profile_hotpaths.py sim      # flit-level engine
     python scripts/profile_hotpaths.py search   # exhaustive checker
     python scripts/profile_hotpaths.py vector   # whole-frontier numpy engine
+    python scripts/profile_hotpaths.py kernel   # fused compiled-loop engine
 
-Prints cProfile's top cumulative entries (``sim``/``search``) or the
-vector engine's per-phase wall-time breakdown (``vector``).  Findings that
+Prints cProfile's top cumulative entries (``sim``/``search``), the
+vector engine's per-phase wall-time breakdown (``vector``), or the
+kernel engine's backend tier + throughput against the vector engine on
+the same search (``kernel``).  Findings that
 shaped the code (recorded here so the next person doesn't re-derive them):
 
 * engine: dominated by `_grant_round` dict lookups and `_cascade`; channel
@@ -108,6 +111,51 @@ def profile_vector() -> None:
     print(f"  {other:7.3f}s  {other / total * 100:5.1f}%  (outside phases)")
 
 
+def profile_kernel() -> None:
+    """Kernel-vs-vector wall time on the fig1-copies search.
+
+    The kernel core is one fused loop, so there is no per-phase split to
+    report; the actionable numbers are the resolved backend tier, the
+    states/sec, and the ratio over the vector engine on the same spec.
+    """
+    import time
+
+    from repro.analysis.fastpath import engine_for
+    from repro.analysis.kernelpath import kernel_engine_for, resolve_backend
+    from repro.analysis.state import CheckerMessage, SystemSpec
+    from repro.analysis.vectorpath import VectorEngine
+    from repro.core.cyclic_dependency import build_cyclic_dependency_network
+
+    msgs = list(build_cyclic_dependency_network().checker_messages())
+    donors = [msgs[1], msgs[3]]
+    for k in range(2):
+        d = donors[k % 2]
+        msgs.append(CheckerMessage(d.path, d.length, f"copy{k}"))
+    spec = SystemSpec.uniform(msgs, budget=1)
+    keng = kernel_engine_for(spec)
+    keng.search(max_states=40_000_000)  # warm: backend JIT/compile + tables
+    t0 = time.perf_counter()
+    deadlock, states = keng.search(max_states=40_000_000)
+    kwall = time.perf_counter() - t0
+    veng = VectorEngine(spec, fast=engine_for(spec))
+    veng.search(max_states=40_000_000)
+    t0 = time.perf_counter()
+    veng.search(max_states=40_000_000)
+    vwall = time.perf_counter() - t0
+    print(
+        f"kernel search [{resolve_backend()}]: states={states} "
+        f"deadlock={deadlock} wall={kwall:.3f}s "
+        f"({states / kwall:,.0f} states/s)"
+    )
+    print(f"vector search: wall={vwall:.3f}s ({states / vwall:,.0f} states/s)")
+    print(f"kernel/vector speedup: {vwall / kwall:.2f}x")
+
+
 if __name__ == "__main__":
     what = sys.argv[1] if len(sys.argv) > 1 else "sim"
-    {"sim": profile_sim, "search": profile_search, "vector": profile_vector}[what]()
+    {
+        "sim": profile_sim,
+        "search": profile_search,
+        "vector": profile_vector,
+        "kernel": profile_kernel,
+    }[what]()

@@ -29,6 +29,7 @@ from __future__ import annotations
 import warnings
 
 from repro.analysis.fastpath import engine_for
+from repro.analysis.kernelpath import COUNTERS as _K_COUNTERS
 from repro.analysis.state import SystemSpec
 from repro.analysis.vectorpath import COUNTERS as _V_COUNTERS
 from repro.analysis.vectorpath import vector_engine_for
@@ -65,25 +66,34 @@ def frontier_search(
     same parameters.  ``jobs`` is the worker-process count; ``jobs <= 1``
     simply runs the serial engine search.
 
-    ``engine="vector"`` does not compose with worker processes: the
-    vector engine already expands a whole BFS level per step, so carving
-    levels into per-state chunks for workers would dismantle exactly the
-    batching it exists for.  Rather than silently degrading to per-state
-    expansion, the combination is refused loudly -- a ``RuntimeWarning``
-    plus the ``vectorpath.fallback.jobs`` telemetry counter -- and the
-    whole-frontier search runs serially.
+    ``engine="vector"`` and ``engine="kernel"`` do not compose with
+    worker processes: the vector engine already expands a whole BFS level
+    per step, and the kernel engine runs the entire search as one
+    compiled loop, so carving levels into per-state chunks for workers
+    would dismantle exactly the batching each exists for.  Rather than
+    silently degrading to per-state expansion, the combination is refused
+    loudly -- a ``RuntimeWarning`` plus the ``vectorpath.fallback.jobs``
+    / ``kernelpath.fallback.jobs`` telemetry counter -- and the engine's
+    own serial search runs instead.
     """
     from repro.analysis.reachability import SearchLimitExceeded
 
-    if engine == "vector":
+    if engine in ("vector", "kernel"):
         if jobs > 1:
-            _V_COUNTERS["vectorpath.fallback.jobs"] += 1
+            counters = _V_COUNTERS if engine == "vector" else _K_COUNTERS
+            counters[f"{engine}path.fallback.jobs"] += 1
             warnings.warn(
-                f"--search-jobs={jobs} does not compose with the vector engine "
-                "(it already batches whole BFS levels); running the "
-                "whole-frontier search serially",
+                f"--search-jobs={jobs} does not compose with the {engine} "
+                "engine (it already batches the whole search); running the "
+                f"{engine} search serially",
                 RuntimeWarning,
                 stacklevel=2,
+            )
+        if engine == "kernel":
+            from repro.analysis.kernelpath import kernel_engine_for
+
+            return kernel_engine_for(spec).search(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
             )
         return vector_engine_for(spec).search(
             max_states=max_states, symmetry_reduction=symmetry_reduction

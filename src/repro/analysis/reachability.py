@@ -26,7 +26,50 @@ from repro.analysis.fastpath import counters_snapshot as _counters_snapshot
 # lands at import time so benchmark setup phases absorb it untimed
 from repro.analysis.vectorpath import counters_snapshot as _v_counters_snapshot
 from repro.analysis.vectorpath import vector_engine_for as _vector_engine_for
+
+# and for the kernel engine: the module itself is dependency-free (its
+# numba/cc acceleration resolves lazily per search, never at import)
+from repro.analysis.kernelpath import counters_snapshot as _k_counters_snapshot
+from repro.analysis.kernelpath import kernel_available as _kernel_available
+from repro.analysis.kernelpath import kernel_engine_for as _kernel_engine_for
 from repro.obs import get as _obs_get
+
+#: every name accepted by ``engine=`` / ``REPRO_SEARCH_ENGINE``
+SEARCH_ENGINES = ("fast", "vector", "kernel", "auto", "reference")
+
+#: how often ``auto`` resolved to each concrete engine (telemetry reads
+#: these via snapshot deltas, like the per-engine COUNTERS dicts)
+AUTO_COUNTERS: dict[str, int] = {
+    "search.engine.auto.kernel": 0,
+    "search.engine.auto.vector": 0,
+    "search.engine.auto.fast": 0,
+}
+
+
+def resolve_engine(engine: str | None, spec: SystemSpec | None = None) -> str:
+    """The concrete engine a search request will run on.
+
+    ``None`` defers to ``REPRO_SEARCH_ENGINE`` (default ``fast``).
+    ``auto`` picks the kernel engine when an accelerated backend (numba or
+    a C compiler) is available, else the vector engine when ``spec`` is
+    vectorizable, else the fast engine -- and records the outcome in
+    :data:`AUTO_COUNTERS`.  Unknown names raise :class:`ValueError`.
+    """
+    eng = engine or os.environ.get("REPRO_SEARCH_ENGINE", "fast")
+    if eng not in SEARCH_ENGINES:
+        raise ValueError(
+            f"unknown search engine {eng!r}; use "
+            "'fast', 'vector', 'kernel', 'auto' or 'reference'"
+        )
+    if eng == "auto":
+        if _kernel_available():
+            eng = "kernel"
+        elif spec is not None and _vector_engine_for(spec).vectorizable:
+            eng = "vector"
+        else:
+            eng = "fast"
+        AUTO_COUNTERS[f"search.engine.auto.{eng}"] += 1
+    return eng
 
 
 class SearchLimitExceeded(RuntimeError):
@@ -163,12 +206,18 @@ def search_deadlock(
         ``"fast"`` (default) expands states through the table-driven
         :class:`~repro.analysis.fastpath.FastEngine`; ``"vector"``
         expands whole BFS levels at a time as numpy blocks through
-        :class:`~repro.analysis.vectorpath.VectorEngine`; ``"reference"``
-        keeps the original :meth:`SystemSpec.successors` implementation as
-        a cross-checking oracle.  All three produce identical verdicts,
-        ``states_explored`` counts and witnesses (pinned by
-        ``tests/test_fastpath_differential.py`` and
-        ``tests/test_vectorpath_differential.py``).  The
+        :class:`~repro.analysis.vectorpath.VectorEngine`; ``"kernel"``
+        runs the whole search as one compiled fused loop through
+        :class:`~repro.analysis.kernelpath.KernelEngine` (numba / C
+        backend when available, interpreted otherwise); ``"auto"`` picks
+        kernel when accelerated, else vector when the spec is
+        vectorizable, else fast (see :func:`resolve_engine`);
+        ``"reference"`` keeps the original :meth:`SystemSpec.successors`
+        implementation as a cross-checking oracle.  All engines produce
+        identical verdicts, ``states_explored`` counts and witnesses
+        (pinned by ``tests/test_fastpath_differential.py``,
+        ``tests/test_vectorpath_differential.py`` and
+        ``tests/test_kernelpath_differential.py``).  The
         ``REPRO_SEARCH_ENGINE`` environment variable overrides the
         default for whole processes (benchmarks, CI A/B runs).
     jobs:
@@ -208,7 +257,12 @@ def search_deadlock(
         )
 
     resolved = engine or os.environ.get("REPRO_SEARCH_ENGINE", "fast")
-    before = {**_counters_snapshot(), **_v_counters_snapshot()}
+    before = {
+        **_counters_snapshot(),
+        **_v_counters_snapshot(),
+        **_k_counters_snapshot(),
+        **AUTO_COUNTERS,
+    }
     with tel.span(
         "search.deadlock",
         engine=resolved,
@@ -228,7 +282,12 @@ def search_deadlock(
         )
         dur = time.perf_counter() - t0
         # snapshot before telemetry's own engine_for below
-        after = {**_counters_snapshot(), **_v_counters_snapshot()}
+        after = {
+            **_counters_snapshot(),
+            **_v_counters_snapshot(),
+            **_k_counters_snapshot(),
+            **AUTO_COUNTERS,
+        }
         sp.set(
             verdict="reachable" if result.deadlock_reachable else "deadlock-free",
             states_explored=result.states_explored,
@@ -248,6 +307,12 @@ def search_deadlock(
                 sp.set(frontier_depth=veng.last_search_depth)
             if veng.last_peak_frontier:
                 sp.set(peak_frontier=veng.last_peak_frontier)
+        elif resolved == "kernel" and result.states_explored:
+            keng = _kernel_engine_for(spec)
+            if keng.last_search_depth is not None:
+                sp.set(frontier_depth=keng.last_search_depth)
+            if keng.last_backend is not None:
+                sp.set(kernel_backend=keng.last_backend)
         tel.incr("search.calls")
         tel.incr("search.states_explored", result.states_explored)
         if result.certificate is not None and result.states_explored == 0:
@@ -276,12 +341,7 @@ def _search_deadlock_impl(
 ) -> SearchResult:
     if symmetry_reduction is None:
         symmetry_reduction = not find_witness
-    if engine is None:
-        engine = os.environ.get("REPRO_SEARCH_ENGINE", "fast")
-    if engine not in ("fast", "vector", "reference"):
-        raise ValueError(
-            f"unknown search engine {engine!r}; use 'fast', 'vector' or 'reference'"
-        )
+    engine = resolve_engine(engine, spec)
 
     init = spec.initial_state()
     dead = spec.deadlocked_set(init)
@@ -327,6 +387,14 @@ def _search_deadlock_impl(
         )
     elif engine == "vector":
         result = _search_vector(
+            spec,
+            max_states=max_states,
+            find_witness=find_witness,
+            symmetry_reduction=symmetry_reduction,
+            jobs=jobs,
+        )
+    elif engine == "kernel":
+        result = _search_kernel(
             spec,
             max_states=max_states,
             find_witness=find_witness,
@@ -493,6 +561,59 @@ def _search_vector(
         )
 
     found, count, steps, states, dead = _vector_engine_for(spec).search_witness(
+        max_states=max_states, symmetry_reduction=symmetry_reduction
+    )
+    witness = None
+    if found:
+        assert steps is not None and states is not None
+        witness = Witness(spec=spec, steps=steps, states=states, deadlocked=dead)
+    return SearchResult(
+        deadlock_reachable=found,
+        witness=witness,
+        states_explored=count,
+        spec=spec,
+    )
+
+
+def _search_kernel(
+    spec: SystemSpec,
+    *,
+    max_states: int,
+    find_witness: bool,
+    symmetry_reduction: bool,
+    jobs: int,
+) -> SearchResult:
+    """Compiled fused-loop search (bit-identical to fast/reference).
+
+    ``jobs > 1`` is refused the same way the vector engine refuses it
+    (warning + ``kernelpath.fallback.jobs`` counter, then a serial kernel
+    search): the compiled loop already amortizes per-state overhead, and
+    per-state chunking across worker processes would rebuild its tables
+    per worker for no win.
+    """
+    if not find_witness:
+        if jobs > 1:
+            from repro.analysis.frontier import frontier_search
+
+            reachable, explored = frontier_search(
+                spec,
+                jobs=jobs,
+                max_states=max_states,
+                symmetry_reduction=symmetry_reduction,
+                engine="kernel",
+            )
+        else:
+            reachable, explored = _kernel_engine_for(spec).search(
+                max_states=max_states, symmetry_reduction=symmetry_reduction
+            )
+        return SearchResult(
+            deadlock_reachable=reachable,
+            witness=None,
+            states_explored=explored,
+            spec=spec,
+        )
+
+    found, count, steps, states, dead = _kernel_engine_for(spec).search_witness(
         max_states=max_states, symmetry_reduction=symmetry_reduction
     )
     witness = None

@@ -64,16 +64,31 @@ hypothesis-generated specs.
 Searches start in a narrow prologue -- the fused fast-engine expansion
 over plain index tuples -- and switch one-way to the wide path when a
 level first reaches :data:`MIN_VECTOR_FRONTIER` rows (the Python-set
-visited store is converted to the sorted key array at the switch), because
-sub-hundred-row levels cost more in numpy dispatch than they save.  Specs
-whose mask width, message count, or packed key exceeds the ``int64``
-encoding fall back to the fast engine wholesale
-(:data:`MAX_VECTOR_BITS`/:data:`MAX_VECTOR_MSGS`).
+visited store is converted to the sorted key store at the switch), because
+sub-hundred-row levels cost more in numpy dispatch than they save.  The
+visited store itself is a :class:`_SortedRuns` collection of sorted key
+runs merged geometrically, so absorbing a level's worth of new keys costs
+amortized ``O(new + V log V / V)`` instead of the ``O(V)`` a per-level
+``np.insert`` into one flat array would.
+
+Specs whose packed state key would overflow ``int64`` no longer fall
+back: their keys switch to fixed-width big-endian **byte strings**
+(``S`` dtype, one ``>i4`` word per message), which sort and
+``searchsorted`` lexicographically exactly like the index tuples they
+encode.  Nor do most >62-channel specs: occupancy masks only keep the
+channels **shared** by at least two messages (a private channel can
+never block, clash, be contested or carry a wait-for edge), compressed
+to the low bit positions, so what bounds the engine is the *shared*
+channel count (``num_bits_eff``) and the message count
+(:data:`MAX_VECTOR_BITS`/:data:`MAX_VECTOR_MSGS`).  Specs beyond those
+fall back to the fast engine wholesale with a structured
+:class:`WideSpecFallbackWarning` naming the spec's requirement.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from itertools import product as _product
 
 import numpy as np
@@ -129,6 +144,58 @@ def counters_snapshot() -> dict[str, int]:
     return dict(COUNTERS)
 
 
+class WideSpecFallbackWarning(UserWarning):
+    """An accelerated engine delegated a too-wide spec to the fast engine.
+
+    Carries the spec's actual requirements and the engine's limits as
+    attributes so tooling can report them structurally; the message spells
+    them out for humans.  Verdicts are unaffected -- only the speedup is
+    lost -- which is why this is a warning, not an error.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        n: int,
+        num_bits: int,
+        max_msgs: int | None,
+        max_bits: int | None,
+    ) -> None:
+        self.engine = engine
+        self.n = n
+        self.num_bits = num_bits
+        self.max_msgs = max_msgs
+        self.max_bits = max_bits
+        lims = []
+        if max_msgs is not None:
+            lims.append(f"{max_msgs} messages")
+        if max_bits is not None:
+            lims.append(f"{max_bits} channel bits")
+        super().__init__(
+            f"{engine} engine fell back to the fast engine: spec needs "
+            f"{n} messages over {num_bits} channel bits, engine limit is "
+            f"{' / '.join(lims) or 'unbounded'} (verdict unchanged, "
+            "no speedup)"
+        )
+
+
+def warn_wide_fallback(
+    engine: str,
+    spec: SystemSpec,
+    n: int,
+    num_bits: int,
+    *,
+    max_msgs: int | None = MAX_VECTOR_MSGS,
+    max_bits: int | None = MAX_VECTOR_BITS,
+) -> None:
+    """Emit the structured wide-spec fallback warning for ``spec``."""
+    del spec  # identification lives in (n, num_bits); kept for callers
+    warnings.warn(
+        WideSpecFallbackWarning(engine, n, num_bits, max_msgs, max_bits),
+        stacklevel=3,
+    )
+
+
 def vector_engine_for(spec: SystemSpec) -> "VectorEngine":
     """The (cached) vector engine for ``spec``."""
     eng = _VENGINES.get(spec)
@@ -176,6 +243,63 @@ def _sorted_member(vis: np.ndarray, cand: np.ndarray) -> np.ndarray:
     return member
 
 
+def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One sorted array out of two sorted **disjoint** ones, O(|a| + |b|)."""
+    out = np.empty(a.size + b.size, dtype=a.dtype)
+    ib = np.searchsorted(a, b) + np.arange(b.size)
+    out[ib] = b
+    rest = np.ones(out.size, dtype=bool)
+    rest[ib] = False
+    out[rest] = a
+    return out
+
+
+class _SortedRuns:
+    """Amortized sorted visited-key store: a stack of sorted runs.
+
+    ``np.insert`` into one flat sorted array rewrites all ``V`` visited
+    keys every level even when the level contributed a handful -- O(V) per
+    level, O(V * levels) per search.  Here each new sorted key block is
+    pushed as its own run and neighbouring runs are merged only when the
+    older one has stopped being at least twice the size of the newer
+    (``_merge_sorted`` is linear), the classic logarithmic merge schedule:
+    every key is rewritten O(log V) times total and the store never holds
+    more than ~log2(V) runs, so membership stays a few ``searchsorted``
+    probes.  All inserted keys are globally unique, which keeps the runs
+    disjoint and the merges exact.
+    """
+
+    __slots__ = ("_runs",)
+
+    def __init__(self, first: np.ndarray) -> None:
+        self._runs: list[np.ndarray] = [first] if first.size else []
+
+    @property
+    def runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def size(self) -> int:
+        return sum(r.size for r in self._runs)
+
+    def member(self, cand: np.ndarray) -> np.ndarray:
+        """Vectorized membership of sorted ``cand`` across all runs."""
+        out = np.zeros(cand.shape[0], dtype=bool)
+        for r in self._runs:
+            out |= _sorted_member(r, cand)
+        return out
+
+    def insert(self, news: np.ndarray) -> None:
+        """Absorb a sorted block of keys not already in the store."""
+        if news.size == 0:
+            return
+        runs = self._runs
+        runs.append(news)
+        while len(runs) >= 2 and runs[-2].size < 2 * runs[-1].size:
+            b = runs.pop()
+            runs[-1] = _merge_sorted(runs[-1], b)
+
+
 class VectorEngine:
     """Whole-frontier BFS over numpy-encoded fastpath transition tables."""
 
@@ -187,16 +311,46 @@ class VectorEngine:
         self.num_bits = f.num_bits
         n = self._n
         size = max(len(f._back[i]) for i in range(n)) if n else 0
-        #: bits per message index in the packed single-int64 state key
+        #: bits per message index in the packed single-int state key
         self._kbits = max(1, int(size - 1).bit_length()) if size else 1
-        #: False when the spec does not fit the int64 row encoding (mask
-        #: width, message count, or the packed state key ``n * kbits + n``
-        #: for the wave-dedup node key); every search then delegates to
-        #: the fast engine (counted in COUNTERS)
+        #: True when the packed state key (plus one pend bit per message
+        #: for the wave-dedup node key) overflows int64; keys then become
+        #: fixed-width big-endian byte strings instead of falling back
+        self._wide_keys = n * self._kbits + n > 62
+        # Occupancy masks only need to distinguish channels that at least
+        # two messages can touch: a channel private to one message can
+        # never block anyone (a message never requests a channel it holds),
+        # never clash or be contested (one requester), and never carry a
+        # wait-for edge.  Dropping private bits and compressing the shared
+        # ones to the low positions therefore changes no verdict, count or
+        # witness, while letting >62-channel specs fit the int64 mask
+        # encoding whenever their *shared* channel count does.
+        shared = 0
+        if 1 <= n <= MAX_VECTOR_MSGS:
+            seen_bits = 0
+            for i in range(n):
+                u = 0
+                for req, opts in f._scan[i]:
+                    u |= req
+                    for _lab, chan, _nci, acq, rel in opts:
+                        u |= (chan or 0) | acq | rel
+                for m in f._occm[i]:
+                    u |= m
+                for m in f._blk[i]:
+                    u |= m
+                shared |= seen_bits & u
+                seen_bits |= u
+        self._shared_bits: tuple[int, ...] = tuple(
+            p for p in range(f.num_bits) if (shared >> p) & 1
+        )
+        #: mask bits after shared-channel compression; this, not the raw
+        #: channel count, is what bounds the engine
+        self.num_bits_eff = len(self._shared_bits)
+        #: False when the spec does not fit the int64 mask encoding (mask
+        #: width or message count); every search then delegates to the
+        #: fast engine (counted in COUNTERS + WideSpecFallbackWarning)
         self.vectorizable = (
-            1 <= n <= MAX_VECTOR_MSGS
-            and f.num_bits <= MAX_VECTOR_BITS
-            and n * self._kbits + n <= 62
+            1 <= n <= MAX_VECTOR_MSGS and self.num_bits_eff <= MAX_VECTOR_BITS
         )
         #: BFS levels of the most recent :meth:`search` (telemetry only)
         self.last_search_depth: int | None = None
@@ -210,8 +364,25 @@ class VectorEngine:
         #: element traffic of every mask op), int64 otherwise.  All
         #: bit-collision sums accumulate in int64 regardless (a sum of
         #: single int32 bits can overflow int32).
-        self._md: type = np.int32 if f.num_bits <= 31 else MD
+        self._md: type = np.int32 if self.num_bits_eff <= 31 else MD
         md = self._md
+        # shared-channel compression of one full-width mask (identity when
+        # every channel is shared); applied to every mask entering the
+        # numpy tables and the drain scan, so the whole wide phase runs in
+        # the compressed domain
+        if self.num_bits_eff == f.num_bits:
+
+            def _c(m: int | None) -> int:
+                return m or 0
+        else:
+            _sb = self._shared_bits
+
+            def _c(m: int | None) -> int:
+                m = m or 0
+                out = 0
+                for k, p in enumerate(_sb):
+                    out |= ((m >> p) & 1) << k
+                return out
         t_req = np.zeros((n, size), dtype=md)
         t_nops = np.zeros((n, size), dtype=np.int8)
         t_ch0 = np.zeros((n, size), dtype=md)
@@ -222,26 +393,46 @@ class VectorEngine:
         t_wait1 = np.zeros((n, size), dtype=bool)
         t_occ = np.zeros((n, size), dtype=md)
         t_blk = np.zeros((n, size), dtype=md)
+        #: compressed-domain copy of ``FastEngine._scan`` for the serial
+        #: drain tail, so drained nodes and wave rows share one mask domain
+        self._cscan: list[list[tuple]] = []
         for i in range(n):
             scan_i = f._scan[i]
             occ_i = f._occm[i]
             blk_i = f._blk[i]
+            cscan_i: list[tuple] = []
             for ci in range(len(scan_i)):
                 req, opts = scan_i[ci]
-                t_req[i, ci] = req
+                t_req[i, ci] = _c(req)
                 t_nops[i, ci] = len(opts)
-                t_occ[i, ci] = occ_i[ci]
-                t_blk[i, ci] = blk_i[ci]
+                t_occ[i, ci] = _c(occ_i[ci])
+                t_blk[i, ci] = _c(blk_i[ci])
                 if opts:
                     _lab, chan, nci, acq, rel = opts[0]
-                    t_ch0[i, ci] = 0 if chan is None else chan
+                    t_ch0[i, ci] = 0 if chan is None else _c(chan)
                     t_nxt0[i, ci] = nci
-                    t_acq0[i, ci] = acq
-                    t_rel0[i, ci] = rel
+                    t_acq0[i, ci] = _c(acq)
+                    t_rel0[i, ci] = _c(rel)
                 if len(opts) > 1:
                     lab1, _c1, nci1, _a1, _r1 = opts[1]
                     t_nxt1[i, ci] = nci1
                     t_wait1[i, ci] = lab1 == "wait"
+                cscan_i.append(
+                    (
+                        _c(req),
+                        tuple(
+                            (
+                                lab,
+                                None if chan is None else _c(chan),
+                                nci,
+                                _c(acq),
+                                _c(rel),
+                            )
+                            for lab, chan, nci, acq, rel in opts
+                        ),
+                    )
+                )
+            self._cscan.append(cscan_i)
         #: (1, n) flat-table row offsets: the (n, size) tables are stored
         #: flattened and gathered through one shared flat index
         #: ``cfg + coloff`` with ``take`` -- the index block is computed
@@ -271,15 +462,22 @@ class VectorEngine:
         # strict lower-triangular (1, n, n) mask for arbitration rank sums
         self._lt = np.tril(np.ones((n, n), dtype=bool), -1)[None, :, :]
         #: packed-key dtype: int32 when the wave node key (state key plus
-        #: one pend bit per message) fits, int64 otherwise
+        #: one pend bit per message) fits, int64 otherwise; wide-key specs
+        #: use fixed-width big-endian byte strings instead (lexicographic
+        #: byte order over ``>i4`` words equals elementwise index order,
+        #: since indices are non-negative)
         self._kd = np.int32 if n * self._kbits + n <= 31 else MD
+        self._sd = np.dtype(f"S{4 * n}")  # state byte key (wide mode)
+        self._nd = np.dtype(f"S{8 * n}")  # node byte key: cfg + pend words
         #: per-column shifts of the packed state key
         self._kshift = (np.arange(n, dtype=self._kd) * self._kbits).reshape(1, n)
         #: (1, n) per-message shifts for the pend bits of the wave node key
         self._ark = np.arange(n, dtype=self._kd).reshape(1, n)
         #: duplicate single-bit channels detectable as sum != bitwise-or
         #: (the sum of n single-bit masks cannot overflow int64)
-        self._sum_safe = f.num_bits + max(0, (n - 1).bit_length()) + 1 <= 63
+        self._sum_safe = (
+            self.num_bits_eff + max(0, (n - 1).bit_length()) + 1 <= 63
+        )
         # joint-choice spread table (n <= 8): _spread[two_code, rank, j]
         # is True when child ``rank`` picks option 1 for two-option mover
         # ``j``, with the first mover varying slowest -- the
@@ -303,11 +501,18 @@ class VectorEngine:
     # canonicalization / dedup / deadlock over row blocks
     # ------------------------------------------------------------------
     def _pack_rows(self, rows: np.ndarray) -> np.ndarray:
-        """One integer key per row: message indices at ``kbits``-bit stride.
+        """One fixed-width key per row, ordered like the index tuples.
 
-        Keys are int32 when ``n * kbits + n`` fits (halves the sort and
-        searchsorted traffic of every dedup), int64 otherwise.
+        Narrow specs pack message indices at ``kbits``-bit stride into one
+        integer -- int32 when ``n * kbits + n`` fits (halves the sort and
+        searchsorted traffic of every dedup), int64 otherwise.  Wide specs
+        view each row's big-endian ``>i4`` words as one ``S{4n}`` byte
+        string: bytewise lexicographic order equals elementwise order for
+        the non-negative indices, with no width limit.
         """
+        if self._wide_keys:
+            be = np.ascontiguousarray(rows.astype(">i4"))
+            return be.view(self._sd).ravel()
         r = rows.astype(self._kd, copy=False)
         out = r[:, 0].astype(self._kd)  # always copies (column view)
         k = self._kbits
@@ -315,17 +520,28 @@ class VectorEngine:
             out |= r[:, j] << (j * k)  # python-int shift keeps the dtype
         return out
 
+    def _pack_nodes(self, cfg: np.ndarray, pend: np.ndarray) -> np.ndarray:
+        """Wide-mode wave node keys: cfg and pend words as one byte string."""
+        node = np.empty((cfg.shape[0], 2 * self._n), dtype=">i4")
+        node[:, : self._n] = cfg
+        node[:, self._n :] = pend
+        return node.view(self._nd).ravel()
+
     def _pack_set(self, states: set[tuple]) -> np.ndarray:
         """Sorted packed keys of a Python-set visited store (mode switch)."""
         if not states:
-            return np.empty(0, dtype=self._kd)
-        rows = np.asarray(sorted(states), dtype=self._kd)
+            return np.empty(0, dtype=self._sd if self._wide_keys else self._kd)
+        rows = np.asarray(sorted(states), dtype=ID if self._wide_keys else self._kd)
         out = self._pack_rows(rows)
         out.sort()
         return out
 
-    def _unpack(self, key: int) -> tuple:
+    def _unpack(self, key: int | bytes) -> tuple:
         """The index tuple behind one packed state key."""
+        if self._wide_keys:
+            # S-dtype items drop trailing NUL bytes: re-pad to full width
+            buf = bytes(key).ljust(4 * self._n, b"\x00")  # type: ignore[arg-type]
+            return tuple(int(v) for v in np.frombuffer(buf, dtype=">i4"))
         k = self._kbits
         m = (1 << k) - 1
         return tuple((key >> (i * k)) & m for i in range(self._n))
@@ -340,6 +556,18 @@ class VectorEngine:
             sub.sort(axis=1)
             out[:, cols] = sub
         return out
+
+    def _masks_for(self, cfg: np.ndarray) -> np.ndarray:
+        """Compressed occupancy masks derived from a state block.
+
+        Used at the narrow->wide switch: prologue masks live in the fast
+        engine's full-width domain, but a state's mask is by definition
+        the OR of its per-message occupancy, so re-deriving it from the
+        compressed tables lands it in the wide phase's domain directly.
+        """
+        return np.bitwise_or.reduce(
+            self._f_occ.take(cfg + self._coloff), axis=1
+        )
 
     def _deadlock_flags(self, cfg: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Boolean wait-for-cycle verdict per row (mirrors ``_deadlocked``).
@@ -393,7 +621,7 @@ class VectorEngine:
         emit duplicate leaves (pruning is best-effort, as everywhere).
         """
         n = self._n
-        scan = self.fast._scan
+        scan = self._cscan
         seen_nodes: set[tuple] = set()
         out_cfg: list[tuple] = []
         out_mask: list[int] = []
@@ -636,13 +864,16 @@ class VectorEngine:
                 # one's, so dropping it is invisible after the level's
                 # first-occurrence dedup.  (Supersedes the fast engine's
                 # per-root ``seen_nodes``: it also prunes across roots.)
-                if n <= 8:
+                if self._wide_keys:
+                    kc = self._pack_nodes(wcfg[act], wpend[act])
+                elif n <= 8:
                     pcode = np.packbits(wpend[act], axis=1, bitorder="little")[
                         :, 0
                     ]
+                    kc = (self._pack_rows(wcfg[act]) << n) | pcode
                 else:  # pragma: no cover - exercised only for n > 8
                     pcode = orr(wpend[act].astype(self._kd) << self._ark, axis=1)
-                kc = (self._pack_rows(wcfg[act]) << n) | pcode
+                    kc = (self._pack_rows(wcfg[act]) << n) | pcode
                 first, _ = _first_occurrences(kc)
                 if first.size < act.size:
                     keep = np.ones(wcfg.shape[0], dtype=bool)
@@ -977,6 +1208,9 @@ class VectorEngine:
 
         if not self.vectorizable:
             COUNTERS["vectorpath.fallback.searches"] += 1
+            warn_wide_fallback(
+                "vector", self.spec, self._n, self.num_bits_eff
+            )
             result = self.fast.search(
                 max_states=max_states, symmetry_reduction=symmetry_reduction
             )
@@ -1026,14 +1260,14 @@ class VectorEngine:
                 self.last_search_depth = depth
                 return False, count
             # --- one-way switch to wide mode: the visited store becomes a
-            # sorted packed-int64 key array, probed with searchsorted; tail
+            # sorted-runs packed key store, probed with searchsorted; tail
             # levels below the threshold stay in the wave machine (its
             # per-level overhead is bounded, and converting the store back
             # to a Python set would not be) ---
-            vis_arr = self._pack_set(visited)
+            vis = _SortedRuns(self._pack_set(visited))
             visited.clear()
             arr_cfg = np.asarray([s for s, _ in lst], dtype=ID)
-            arr_mask = np.asarray([m for _, m in lst], dtype=self._md)
+            arr_mask = self._masks_for(arr_cfg)
             while arr_cfg.shape[0]:
                 if arr_cfg.shape[0] > peak:
                     peak = arr_cfg.shape[0]
@@ -1048,19 +1282,15 @@ class VectorEngine:
                 )
                 first, cand = _first_occurrences(keys)
                 t2 = time.perf_counter()
-                member = _sorted_member(vis_arr, cand)
+                member = vis.member(cand)
                 fresh = ~member
                 sel = first[fresh]
                 sel.sort()  # restore emission order over the survivors
                 nd = int(sel.size)
                 if nd:
-                    # merge the new-key block (already sorted: cand is in
-                    # key order) in one linear pass via np.insert instead
-                    # of re-sorting the whole store
-                    news = cand[fresh]
-                    vis_arr = np.insert(
-                        vis_arr, np.searchsorted(vis_arr, news), news
-                    )
+                    # absorb the new-key block (already sorted: cand is in
+                    # key order) as a run; geometric merging amortizes
+                    vis.insert(cand[fresh])
                 t3 = time.perf_counter()
                 stats["emitted"] += em_cfg.shape[0]
                 stats["unique"] += nd
@@ -1115,6 +1345,9 @@ class VectorEngine:
 
         if not self.vectorizable:
             COUNTERS["vectorpath.fallback.searches"] += 1
+            warn_wide_fallback(
+                "vector", self.spec, self._n, self.num_bits_eff
+            )
             return self.fast.search_witness(
                 max_states=max_states, symmetry_reduction=symmetry_reduction
             )
@@ -1152,11 +1385,11 @@ class VectorEngine:
             return False, count, None, None, ()
         # wide mode: packed visited keys plus per-level packed parent-edge
         # arrays (child key, parent key) in the raw index domain
-        vis_arr = self._pack_set(visited)
+        vis = _SortedRuns(self._pack_set(visited))
         visited.clear()
         wit: list[tuple[np.ndarray, np.ndarray]] = []
         arr_cfg = np.asarray([s for s, _ in lst], dtype=ID)
-        arr_mask = np.asarray([m for _, m in lst], dtype=self._md)
+        arr_mask = self._masks_for(arr_cfg)
         while arr_cfg.shape[0]:
             em_cfg, em_mask, em_root = self._expand_level(arr_cfg, arr_mask)
             assert em_root is not None  # need_roots defaults on
@@ -1164,7 +1397,7 @@ class VectorEngine:
                 self._canon_rows(em_cfg) if canon is not None else em_cfg
             )
             first, cand = _first_occurrences(keys)
-            member = _sorted_member(vis_arr, cand)
+            member = vis.member(cand)
             fresh = ~member
             sel = first[fresh]
             sel.sort()  # restore emission order over the survivors
@@ -1173,8 +1406,7 @@ class VectorEngine:
                 arr_cfg = em_cfg[:0]
                 arr_mask = em_mask[:0]
                 continue
-            news = cand[fresh]  # already sorted: cand is in key order
-            vis_arr = np.insert(vis_arr, np.searchsorted(vis_arr, news), news)
+            vis.insert(cand[fresh])  # already sorted: cand is in key order
             ncfg = em_cfg[sel]
             nmask = em_mask[sel]
             cpack = self._pack_rows(ncfg)
@@ -1186,8 +1418,13 @@ class VectorEngine:
                 if j < allow:
                     wit.append((cpack[: j + 1], ppack[: j + 1]))
                     st = tuple(ncfg[j].tolist())
-                    dead_t = f._deadlocked(st, int(nmask[j]))
-                    chain = self._chain_from_levels(wit, parent, init, int(cpack[j]))
+                    # the fast engine's deadlock probe wants the full-width
+                    # mask; rebuild it from per-message occupancy
+                    fmask = 0
+                    for i, ci in enumerate(st):
+                        fmask |= f._occm[i][ci]
+                    dead_t = f._deadlocked(st, fmask)
+                    chain = self._chain_from_levels(wit, parent, init, cpack[j].item())
                     return self._witness_from_chain(chain, count + j + 1, dead_t)
                 raise SearchLimitExceeded(
                     f"exceeded {max_states} states; tighten the "
@@ -1221,14 +1458,14 @@ class VectorEngine:
         wit: list[tuple[np.ndarray, np.ndarray]],
         parent: dict[tuple, tuple],
         init: tuple,
-        final_key: int,
+        final_key: int | bytes,
     ) -> list[tuple]:
         """``init..final`` chain: walk the per-level packed edge arrays back
         to the prologue frontier, then the tuple parent pointers to init."""
         packs = [final_key]
         for cpack, ppack in reversed(wit):
             hit = int(np.flatnonzero(cpack == packs[-1])[0])
-            packs.append(int(ppack[hit]))
+            packs.append(ppack[hit].item())
         packs.reverse()  # prologue-frontier state first
         tail = [self._unpack(p) for p in packs]
         return self._chain_from_dict(parent, init, tail[0])[:-1] + tail

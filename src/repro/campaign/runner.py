@@ -51,9 +51,10 @@ class RunnerConfig:
     #: worker processes for frontier-parallel searches *inside* one task;
     #: execution-only (never part of task identity or the cache key)
     search_jobs: int = 1
-    #: search engine (fast/vector/reference) used inside tasks; ``None``
-    #: defers to ``REPRO_SEARCH_ENGINE``/the default.  Execution-only for
-    #: the same reason: the engines are pinned bit-identical.
+    #: search engine (fast/vector/kernel/auto/reference) used inside
+    #: tasks; ``None`` defers to ``REPRO_SEARCH_ENGINE``/the default.
+    #: Execution-only for the same reason: the engines are pinned
+    #: bit-identical.
     engine: str | None = None
 
     def __post_init__(self) -> None:
@@ -65,10 +66,10 @@ class RunnerConfig:
             raise ValueError("task_timeout must be positive")
         if self.search_jobs < 1:
             raise ValueError("search_jobs must be >= 1")
-        if self.engine not in (None, "fast", "vector", "reference"):
+        if self.engine not in (None, "fast", "vector", "kernel", "auto", "reference"):
             raise ValueError(
                 f"unknown search engine {self.engine!r}; "
-                "use 'fast', 'vector' or 'reference'"
+                "use 'fast', 'vector', 'kernel', 'auto' or 'reference'"
             )
 
 

@@ -442,7 +442,7 @@ def execute_task(
 
     ``search_jobs`` and ``engine`` are *execution* knobs (worker
     processes for frontier-parallel searches, and the search engine --
-    fast/vector/reference -- used inside a task), deliberately not task
+    fast/vector/kernel/auto/reference -- used inside a task), deliberately not task
     parameters: the engines are pinned bit-identical by the differential
     suites, so neither knob enters the content hash and cached results
     stay valid whatever execution strategy produced them.

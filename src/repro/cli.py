@@ -915,10 +915,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--search-engine", default=None,
-            choices=["fast", "vector", "reference"],
+            choices=["fast", "vector", "kernel", "auto", "reference"],
             help="reachability search engine (default: REPRO_SEARCH_ENGINE "
-            "or 'fast'); all engines are pinned bit-identical, so this is "
-            "purely an execution knob",
+            "or 'fast'); 'auto' picks kernel/vector/fast by availability; "
+            "all engines are pinned bit-identical, so this is purely an "
+            "execution knob",
         )
 
     def add_telemetry_flags(p: argparse.ArgumentParser) -> None:

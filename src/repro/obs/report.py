@@ -58,6 +58,26 @@ class TelemetryReport:
             return None
         return hits / lookups
 
+    def engine_fallbacks(self) -> dict[str, float]:
+        """Nonzero engine-fallback counts (wide specs, jobs refusals).
+
+        Every ``*.fallback.*`` counter the accelerated engines emit when
+        they delegate to the fast engine -- searches that silently lost
+        their speedup.  Empty when every search ran on its chosen engine.
+        """
+        return {
+            k: v for k, v in self.counters.items() if ".fallback." in k and v
+        }
+
+    def auto_engine_picks(self) -> dict[str, float]:
+        """How often ``--search-engine auto`` resolved to each engine."""
+        prefix = "search.engine.auto."
+        return {
+            k[len(prefix):]: v
+            for k, v in self.counters.items()
+            if k.startswith(prefix) and v
+        }
+
     def to_json(self) -> dict[str, Any]:
         return {
             "path": self.path,
@@ -69,6 +89,8 @@ class TelemetryReport:
             "spans": {k: self.spans[k].to_json() for k in sorted(self.spans)},
             "tasks": self.tasks,
             "cache_hit_rate": self.cache_hit_rate(),
+            "engine_fallbacks": dict(sorted(self.engine_fallbacks().items())),
+            "auto_engine_picks": dict(sorted(self.auto_engine_picks().items())),
         }
 
 
@@ -132,6 +154,16 @@ def render(report: TelemetryReport, *, top: int = 10) -> str:
     hit_rate = report.cache_hit_rate()
     if hit_rate is not None:
         head["campaign cache hit rate"] = f"{hit_rate:.0%}"
+    fallbacks = report.engine_fallbacks()
+    if fallbacks:
+        head["engine fallbacks"] = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(fallbacks.items())
+        )
+    picks = report.auto_engine_picks()
+    if picks:
+        head["auto engine picks"] = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(picks.items())
+        )
     parts = [render_kv(head, title="telemetry report")]
 
     if report.spans:

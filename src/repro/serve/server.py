@@ -143,8 +143,8 @@ class ServeConfig:
     window: float = 0.02
     jobs: int = 1
     search_jobs: int = 1
-    #: search engine (fast/vector/reference) for in-task searches; None
-    #: defers to REPRO_SEARCH_ENGINE / the default
+    #: search engine (fast/vector/kernel/auto/reference) for in-task
+    #: searches; None defers to REPRO_SEARCH_ENGINE / the default
     search_engine: str | None = None
     retries: int = 0
     task_timeout: float | None = None

@@ -24,6 +24,8 @@ from contextlib import contextmanager
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import numpy as np
+
 import repro.analysis.vectorpath as vectorpath_mod
 from repro.analysis.fastpath import engine_for
 from repro.analysis.frontier import frontier_search
@@ -33,7 +35,13 @@ from repro.analysis.reachability import (
     search_deadlock,
 )
 from repro.analysis.state import CheckerMessage, SystemSpec
-from repro.analysis.vectorpath import COUNTERS, VectorEngine
+from repro.analysis.vectorpath import (
+    COUNTERS,
+    VectorEngine,
+    WideSpecFallbackWarning,
+    _merge_sorted,
+    _SortedRuns,
+)
 from repro.campaign.scenarios import build_scenario
 
 ENGINES = ("reference", "fast", "vector")
@@ -306,3 +314,159 @@ def test_random_specs_three_way_witnesses(spec):
                 assert got.witness.steps == ref.witness.steps, eng
                 assert got.witness.states == ref.witness.states, eng
                 _assert_valid_witness(spec, got.witness)
+
+
+# ----------------------------------------------------------------------
+# sorted-runs visited store (the np.insert replacement)
+# ----------------------------------------------------------------------
+def test_merge_sorted_is_exact_union():
+    rng = np.random.default_rng(7)
+    pool = rng.choice(10_000, size=600, replace=False)
+    a = np.sort(pool[:400]).astype(np.int64)
+    b = np.sort(pool[400:]).astype(np.int64)
+    out = _merge_sorted(a, b)
+    assert out.dtype == a.dtype
+    np.testing.assert_array_equal(out, np.sort(pool).astype(np.int64))
+    # byte-string keys (wide mode) merge the same way
+    sa = a.astype(">i4").view("S4").ravel()
+    sb = b.astype(">i4").view("S4").ravel()
+    np.testing.assert_array_equal(
+        _merge_sorted(sa, sb), np.sort(np.concatenate([sa, sb]))
+    )
+
+
+def test_sorted_runs_matches_set_semantics():
+    """Member/insert over many disjoint blocks == a python set, with the
+    run count staying logarithmic in the total key volume."""
+    rng = np.random.default_rng(11)
+    keys = rng.permutation(20_000)[:4096].astype(np.int64)
+    store = _SortedRuns(np.sort(keys[:512]).copy())
+    seen = set(keys[:512].tolist())
+    off = 512
+    while off < keys.size:
+        block = keys[off : off + rng.integers(1, 300)]
+        off += block.size
+        probe = np.sort(np.concatenate([block, keys[:64]]))
+        member = store.member(probe)
+        assert member.tolist() == [int(k) in seen for k in probe]
+        store.insert(np.sort(block).copy())
+        seen.update(block.tolist())
+        assert store.size == len(seen)
+        assert store.runs <= int(np.log2(store.size)) + 1
+    final = np.sort(keys)
+    assert store.member(final).all()
+    assert not store.member(np.asarray([20_001], dtype=np.int64)).any()
+
+
+def test_sorted_runs_empty_blocks():
+    store = _SortedRuns(np.empty(0, dtype=np.int64))
+    assert store.runs == 0 and store.size == 0
+    assert not store.member(np.asarray([3], dtype=np.int64)).any()
+    store.insert(np.empty(0, dtype=np.int64))
+    assert store.runs == 0
+    store.insert(np.asarray([5], dtype=np.int64))
+    assert store.member(np.asarray([5], dtype=np.int64)).all()
+
+
+# ----------------------------------------------------------------------
+# multi-word (byte-string) state keys
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label,spec", BATTERY, ids=[b[0] for b in BATTERY])
+def test_forced_wide_keys_bit_identical(label, spec):
+    """Flipping a small spec onto the byte-string key path changes nothing:
+    search and witness stay bit-identical to the fast engine.
+
+    ``_wide_keys`` is only consulted at pack/unpack time while the byte
+    dtypes are precomputed for every spec, so forcing the flag runs the
+    real multi-word store on specs small enough to cross-check everywhere.
+    """
+    fast = engine_for(spec)
+    with _forced_wide():
+        eng = VectorEngine(spec, fast=fast)
+        eng._wide_keys = True
+        assert eng.search() == fast.search()
+        assert eng.search_witness() == fast.search_witness()
+
+
+def test_wide_key_round_trip():
+    """pack -> sort -> unpack is lossless and order-preserving for byte
+    keys (lexicographic over big-endian words == elementwise order)."""
+    spec = BATTERY[0][1]
+    eng = VectorEngine(spec, fast=engine_for(spec))
+    eng._wide_keys = True
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, 2**17, size=(64, eng._n)).astype(np.int64)
+    keys = eng._pack_rows(rows)
+    order = np.argsort(keys, kind="stable")
+    expect = sorted(map(tuple, rows.tolist()))
+    assert [eng._unpack(k) for k in keys[order]] == expect
+
+
+# ----------------------------------------------------------------------
+# shared-channel mask compression / structured fallback warning
+# ----------------------------------------------------------------------
+def _overlap_ring(ring_n, entries, run_lens, budget):
+    msgs = build_scenario(
+        "theorem2-overlap",
+        {"ring_n": ring_n, "entries": entries, "run_lens": run_lens},
+    ).messages
+    return SystemSpec.uniform(msgs, budget=budget)
+
+
+def test_compression_lifts_wide_channel_spec():
+    """>62 raw channels, tiny shared set: vectorizable, bit-identical."""
+    spec = _overlap_ring(70, (0, 35), (40, 40), budget=0)
+    fast = engine_for(spec)
+    assert fast.num_bits > 62
+    eng = VectorEngine(spec, fast=fast)
+    assert eng.vectorizable
+    assert eng.num_bits_eff <= 62
+    assert eng.num_bits_eff < fast.num_bits
+    assert eng.search() == fast.search()
+    assert eng.search_witness() == fast.search_witness()
+
+
+def test_compression_identity_when_all_channels_shared():
+    """Two messages over one shared path: every channel is contested, so
+    compression degenerates to the identity and drops nothing."""
+    spec = SystemSpec(
+        messages=(
+            CheckerMessage(path=(0, 1), length=1, tag="A"),
+            CheckerMessage(path=(0, 1), length=1, tag="B"),
+        ),
+        budgets=(1, 1),
+    )
+    fast = engine_for(spec)
+    eng = VectorEngine(spec, fast=fast)
+    assert eng.num_bits_eff == eng.num_bits
+    with _forced_wide():
+        assert VectorEngine(spec, fast=fast).search() == fast.search()
+
+
+def test_compression_shrinks_battery_spec():
+    """fig1 carries private path segments; compression strips them while
+    the whole battery above stays bit-identical with it always on."""
+    spec = BATTERY[0][1]
+    eng = VectorEngine(spec, fast=engine_for(spec))
+    assert 0 < eng.num_bits_eff < eng.num_bits
+
+
+def test_wide_spec_fallback_warning_is_structured():
+    """A spec whose *shared* channels still overflow 62 bits falls back
+    loudly, with the effective bit requirement on the warning."""
+    spec = _overlap_ring(80, (0, 10), (75, 75), budget=0)
+    fast = engine_for(spec)
+    eng = VectorEngine(spec, fast=fast)
+    assert not eng.vectorizable
+    assert eng.num_bits_eff > 62
+    before = COUNTERS["vectorpath.fallback.searches"]
+    with pytest.warns(WideSpecFallbackWarning) as rec:
+        got = eng.search()
+    assert COUNTERS["vectorpath.fallback.searches"] == before + 1
+    warning = rec[0].message
+    assert warning.engine == "vector"
+    assert warning.n == eng._n
+    assert warning.num_bits == eng.num_bits_eff
+    assert warning.max_bits == vectorpath_mod.MAX_VECTOR_BITS
+    assert str(eng.num_bits_eff) in str(warning)
+    assert got == fast.search()
