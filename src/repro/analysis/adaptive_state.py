@@ -63,6 +63,10 @@ class AdaptiveSearchResult:
     deadlock_reachable: bool
     states_explored: int
     deadlocked_tags: tuple[str, ...] = ()
+    #: rule code of the static certificate that decided (or confirmed) the
+    #: verdict, e.g. ``"CRT008"``; ``None`` when the search decided alone.
+    #: ``states_explored == 0`` iff the certificate alone decided.
+    certificate: str | None = None
 
 
 class AdaptiveSystem:
@@ -291,8 +295,56 @@ def search_adaptive_deadlock(
     *,
     budget: int = 0,
     max_states: int = 500_000,
+    certificates: str | None = None,
 ) -> AdaptiveSearchResult:
-    """BFS over every schedule, arbitration outcome AND route choice."""
+    """BFS over every schedule, arbitration outcome AND route choice.
+
+    ``certificates`` mirrors :func:`repro.analysis.reachability.search_deadlock`:
+    ``"on"`` (default) consults
+    :func:`repro.lint.certificates.adaptive_certificate` first -- Duato's
+    escape-channel condition (CRT008) or an acyclic full adaptive CDG
+    (CRT001) decides DEADLOCK_FREE with zero states explored; ``"off"``
+    disables the pre-pass; ``"check"`` runs both and raises
+    :class:`~repro.lint.certificates.CertificateMismatch` on disagreement.
+    The ``REPRO_STATIC_CERTIFICATES`` environment variable supplies the
+    default mode.
+    """
+    # lazy import: lint sits above analysis in the layering
+    from repro.lint.certificates import (
+        CertificateMismatch,
+        adaptive_certificate,
+        certificates_mode,
+    )
+
+    cert_mode = certificates_mode(certificates)
+    cert = adaptive_certificate(fn) if cert_mode != "off" else None
+    if cert is not None and cert_mode == "on" and not cert.deadlock_reachable:
+        return AdaptiveSearchResult(
+            deadlock_reachable=False, states_explored=0, certificate=cert.code
+        )
+
+    result = _search_adaptive_impl(
+        fn, messages, budget=budget, max_states=max_states
+    )
+    if cert is not None:
+        if cert_mode == "check" and result.deadlock_reachable != cert.deadlock_reachable:
+            raise CertificateMismatch(
+                f"static certificate {cert.code} says "
+                f"{'reachable' if cert.deadlock_reachable else 'deadlock-free'} "
+                f"but the adaptive search found the opposite "
+                f"({result.states_explored} states explored)"
+            )
+        result.certificate = cert.code
+    return result
+
+
+def _search_adaptive_impl(
+    fn: AdaptiveRoutingFunction,
+    messages: Sequence[AdaptiveMessage],
+    *,
+    budget: int,
+    max_states: int,
+) -> AdaptiveSearchResult:
     system = AdaptiveSystem(fn, messages, budget=budget)
     init = system.initial_state()
     visited: set[AdaptiveSystemState] = {init}

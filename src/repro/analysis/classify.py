@@ -337,11 +337,27 @@ def _classify_cycle_impl(
         cycle_certificate(alg, cycle, pairs) if cert_mode != "off" else None
     )
     if cert is not None and cert_mode == "on":
+        # constructive certificates (CRT005) also yield a zero-search
+        # witness over the certificate's own message set; the others
+        # leave witness_result as None (existence without a schedule)
+        from repro.lint.witness import certificate_witness
+
+        witness_result = None
+        wit = certificate_witness(cert, budget=budget)
+        if wit is not None:
+            witness_result = SearchResult(
+                deadlock_reachable=True,
+                witness=wit,
+                states_explored=0,
+                spec=wit.spec,
+                certificate=cert.code,
+            )
         return CycleClassification(
             cycle=cycle,
             deadlock_reachable=True,
             tilings_tested=1,
             scenarios_tested=0,
+            witness_result=witness_result,
             notes=[f"static certificate {cert.code}: {cert.rationale}"],
             certificate=cert.code,
         )

@@ -228,9 +228,14 @@ def search_deadlock(
         ``"on"`` (default) consults the static linter first: when
         :func:`repro.lint.certificates.spec_certificate` decides the
         verdict, the BFS is skipped entirely (``states_explored == 0``,
-        ``certificate`` set to the rule code).  A reachable certificate
-        only short-circuits when ``find_witness`` is false -- witnesses
-        still require the search.  ``"off"`` disables the pre-pass;
+        ``certificate`` set to the rule code).  Reachable certificates
+        short-circuit even with ``find_witness=True``: CRT005's stall-free
+        injection schedule is driven through ``SystemSpec.successors`` into
+        a validated :class:`Witness`
+        (:func:`repro.lint.witness.certificate_witness`); the BFS runs only
+        if that construction fails.  Constructed witnesses are valid
+        replayable traces but -- unlike BFS witnesses -- not guaranteed to
+        be minimum-cycle.  ``"off"`` disables the pre-pass;
         ``"check"`` runs *both* and raises
         :class:`~repro.lint.certificates.CertificateMismatch` if they
         disagree (the cross-checking analogue of the fast/reference
@@ -239,8 +244,10 @@ def search_deadlock(
 
     Notes
     -----
-    BFS order means a returned witness has the minimum number of cycles
-    over all deadlock formations -- handy for reports and replay tests.
+    BFS order means a search-produced witness has the minimum number of
+    cycles over all deadlock formations -- handy for reports and replay
+    tests.  Certificate-constructed witnesses follow the Theorem-2
+    schedule instead, which may take more cycles.
     """
     tel = _obs_get()
     if tel is None:
@@ -374,8 +381,20 @@ def _search_deadlock_impl(
                 spec=spec,
                 certificate=cert.code,
             )
-        # reachable certificate but a witness was requested: fall through
-        # to the search; the result still records the confirming code.
+        # reachable certificate with a witness requested: construct the
+        # certificate's stall-free schedule directly (zero search states);
+        # only a failed construction falls through to the BFS.
+        from repro.lint.witness import certificate_witness
+
+        wit = certificate_witness(cert, spec)
+        if wit is not None:
+            return SearchResult(
+                deadlock_reachable=True,
+                witness=wit,
+                states_explored=0,
+                spec=spec,
+                certificate=cert.code,
+            )
 
     if engine == "fast":
         result = _search_fast(

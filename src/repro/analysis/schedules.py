@@ -89,6 +89,10 @@ def witness_to_schedule(witness: Witness, *, src_dst: Sequence[tuple] | None = N
                 stall_cycles.setdefault(i, []).append(t)
 
     specs: list[MessageSpec] = []
+    # a message that never injected during the witness is not part of the
+    # deadlock: schedule it after the witness horizon so it cannot contend
+    # with the scripted prefix (the detector fires before it moves)
+    horizon = len(witness.steps)
     for i in range(n):
         src, dst = src_dst[i]
         specs.append(
@@ -97,7 +101,7 @@ def witness_to_schedule(witness: Witness, *, src_dst: Sequence[tuple] | None = N
                 src=src,
                 dst=dst,
                 length=spec.messages[i].length,
-                inject_time=inject_time.get(i, 0),
+                inject_time=inject_time.get(i, horizon),
                 tag=spec.messages[i].tag,
             )
         )

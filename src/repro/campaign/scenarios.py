@@ -5,10 +5,13 @@ parameters, inside the worker process (constructions are cheap; verdicts
 are not).  Each builder returns a :class:`ScenarioBundle` exposing
 whichever handles its analysis kinds need:
 
-``messages``        checker messages (reachability / classify / min_delay)
+``messages``        checker messages (reachability / classify / min_delay /
+                    cross_check)
 ``sim``             ``(network, routing, specs)`` for timed simulation
 ``algorithm``       a routing algorithm for CDG structure checks
 ``cycle_classify``  ``(algorithm, cycle, pairs)`` for CDG-cycle classification
+``adaptive``        ``(adaptive_fn, adaptive_messages)`` for the adaptive
+                    exhaustive search
 ``detail``          extra facts recorded verbatim in the task result
                     (e.g. minimality, Theorem 5 condition verdicts)
 
@@ -34,6 +37,7 @@ class ScenarioBundle:
     sim: tuple | None = None  # (network, routing, specs)
     algorithm: Any = None
     cycle_classify: tuple | None = None  # (algorithm, cycle, pairs)
+    adaptive: tuple | None = None  # (adaptive_fn, adaptive_messages)
     detail: dict[str, Any] = field(default_factory=dict)
 
 
@@ -295,6 +299,49 @@ def _traffic(p: dict[str, Any]) -> ScenarioBundle:
         seed=int(p.get("seed", 11)),
     )
     return ScenarioBundle(sim=(net, fn, specs), algorithm=RoutingAlgorithm(fn))
+
+
+@register("adaptive-mesh")
+def _adaptive_mesh(p: dict[str, Any]) -> ScenarioBundle:
+    """Adaptive routing on a 2D mesh (Section 7 / Duato's setting).
+
+    ``routing="escape"`` builds :func:`repro.routing.adaptive.duato_escape_mesh`
+    on a two-VC mesh (deadlock-free by CRT008); ``routing="full"`` builds the
+    single-VC :class:`~repro.routing.adaptive.FullyAdaptiveMesh` negative
+    control.  The message set is the four-corners pattern -- each corner
+    sends to the opposite corner -- whose turn cycle is the classic
+    fully-adaptive deadlock; ``msgs`` keeps only the first k corners (the
+    exhaustive adaptive search is exponential in the message count).
+    """
+    from repro.analysis.adaptive_state import AdaptiveMessage
+    from repro.routing import RoutingAlgorithm
+    from repro.routing.adaptive import FullyAdaptiveMesh, duato_escape_mesh
+    from repro.topology import mesh
+
+    dims = tuple(int(d) for d in p.get("dims", (2, 2)))
+    if len(dims) != 2:
+        raise ValueError("adaptive-mesh requires 2D dims")
+    mode = str(p.get("routing", "escape"))
+    if mode == "escape":
+        net = mesh(dims, vcs=2)
+        fn = duato_escape_mesh(net, 2)
+    elif mode == "full":
+        net = mesh(dims)
+        fn = FullyAdaptiveMesh(net, 2)
+    else:
+        raise ValueError(f"unknown adaptive routing {mode!r}; use escape|full")
+    x, y = dims[0] - 1, dims[1] - 1
+    corners = [(0, 0), (x, 0), (x, y), (0, y)]
+    length = int(p.get("length", 2))
+    msgs = [
+        AdaptiveMessage(c, (x - c[0], y - c[1]), length, tag=f"c{i}")
+        for i, c in enumerate(corners)
+    ][: int(p.get("msgs", 4))]
+    return ScenarioBundle(
+        algorithm=RoutingAlgorithm(fn),
+        adaptive=(fn, msgs),
+        detail={"routing": mode},
+    )
 
 
 # ----------------------------------------------------------------------

@@ -6,9 +6,11 @@ the six Figure 3 / Theorem 5 panels plus the random condition sweep, the
 Theorem 2 overlap family, the Theorem 3 minimality sweep, the Section 6
 ``Gen(m)`` delay grid, the Section 5 corollary baselines -- CDG
 structure, ring-cycle classification, and validation traffic -- across
-mesh/ring/hypercube/torus sizes, and a static-linter cross-section whose
+mesh/ring/hypercube/torus sizes, a static-linter cross-section whose
 expectations pin which scenarios the certificates decide (and, just as
-deliberately, which they must leave undecided).  Each task carries the paper's stated
+deliberately, which they must leave undecided), the Section 7 adaptive
+checker cases (Duato escape vs fully adaptive), and the witness-replay
+cross-checks.  Each task carries the paper's stated
 verdict as ``expect`` where the paper states one, so a campaign run is
 itself a reproduction check: the summary counts expectation mismatches.
 
@@ -248,10 +250,76 @@ def lint_tasks() -> list[CampaignTask]:
             run_lens=(3, 3, 3),
             expect="reachable_deadlock",
         ),
+        # adaptive routing: Duato's escape condition decides the escape
+        # mesh (CRT008); the fully-adaptive mesh must stay undecided
+        CampaignTask.make(
+            "lint", "adaptive-mesh", routing="escape", dims=(3, 3),
+            expect="deadlock_free",
+        ),
+        CampaignTask.make(
+            "lint", "adaptive-mesh", routing="full", dims=(3, 3),
+            expect="undecided",
+        ),
         # statics must NOT decide these (unreachable cycles / delay-gated)
         CampaignTask.make("lint", "fig1", expect="undecided"),
         CampaignTask.make("lint", "fig3-panel", panel="a", expect="undecided"),
         CampaignTask.make("lint", "gen", m=2, expect="undecided"),
+    ]
+
+
+def adaptive_tasks() -> list[CampaignTask]:
+    """Section 7 adaptive checker cross-section (Duato's setting).
+
+    The escape meshes are certificate-decided (CRT008) under ``on`` mode
+    and exhaustively confirmed under ``check``; the fully-adaptive mesh is
+    the negative control -- four corner messages reach the classic turn
+    cycle, while two cannot close a knot.
+    """
+    return [
+        CampaignTask.make(
+            "adaptive", "adaptive-mesh", routing="escape", dims=(2, 2), msgs=2,
+            expect="unreachable",
+        ),
+        CampaignTask.make(
+            "adaptive", "adaptive-mesh", routing="escape", dims=(3, 3), msgs=2,
+            expect="unreachable",
+        ),
+        CampaignTask.make(
+            "adaptive", "adaptive-mesh", routing="full", dims=(2, 2), msgs=4,
+            expect="deadlock",
+        ),
+        CampaignTask.make(
+            "adaptive", "adaptive-mesh", routing="full", dims=(2, 2), msgs=2,
+            expect="unreachable",
+        ),
+    ]
+
+
+def cross_check_tasks() -> list[CampaignTask]:
+    """Witness-replay cross-validation of the certificate fast path.
+
+    One task per witness source: the Theorem-2 overlap ring is decided by
+    CRT005 and must emit a *constructed* zero-search witness; the Theorem-4
+    pair and the delayed Figure 1 exercise search-produced witnesses.  All
+    three replay through the flit-level simulator (``replay-failed`` /
+    ``witness-invalid`` verdicts would break the ``expect``).
+    """
+    return [
+        CampaignTask.make(
+            "cross_check",
+            "theorem2-overlap",
+            ring_n=6,
+            entries=(0, 2, 4),
+            run_lens=(3, 3, 3),
+            expect="deadlock",
+        ),
+        CampaignTask.make(
+            "cross_check", "fig2-pair", d1=3, d2=1, hold=3, expect="deadlock"
+        ),
+        CampaignTask.make(
+            "cross_check", "fig1", budget=1, max_states=8_000_000,
+            expect="deadlock",
+        ),
     ]
 
 
@@ -324,6 +392,8 @@ def paper_battery() -> list[CampaignTask]:
     tasks += gen_tasks((1, 2, 3))
     tasks += baseline_tasks()
     tasks += lint_tasks()
+    tasks += adaptive_tasks()
+    tasks += cross_check_tasks()
     tasks += traffic_tasks()
     return tasks
 
@@ -355,6 +425,13 @@ def quick() -> list[CampaignTask]:
         CampaignTask.make("cdg", "baseline-cdg", algorithm="dor", dims=(3, 3),
                           expect="acyclic"),
         CampaignTask.make("lint", "ring-cycle", n=4, expect="reachable_deadlock"),
+        CampaignTask.make(
+            "adaptive", "adaptive-mesh", routing="escape", dims=(2, 2), msgs=2,
+            expect="unreachable",
+        ),
+        CampaignTask.make(
+            "cross_check", "fig2-pair", d1=3, d2=1, hold=3, expect="deadlock"
+        ),
         CampaignTask.make(
             "simulate", "traffic", algorithm="dor", dims=(4, 4), rate=0.02,
             expect="delivered",

@@ -20,7 +20,17 @@ A :class:`CampaignTask` names *what* to verify -- a registered scenario
 ``lint``
     the static deadlock linter (:func:`repro.lint.lint_algorithm` /
     :func:`repro.lint.lint_messages`): rule diagnostics plus at most one
-    search-free certificate verdict.
+    search-free certificate verdict;
+``adaptive``
+    exhaustive adaptive-routing search
+    (:func:`repro.analysis.adaptive_state.search_adaptive_deadlock`) over
+    the scenario's ``adaptive`` handle, with the CRT008/CRT001 certificate
+    pre-pass;
+``cross_check``
+    certificate/witness cross-validation: run the reachability search with
+    ``find_witness=True``, then validate the emitted witness against the
+    successor relation and replay it through the flit-level simulator --
+    any disagreement surfaces as a non-``deadlock`` verdict.
 
 Identity is the sha256 of the canonical JSON of ``(kind, scenario,
 params)`` -- stable across process restarts, dict orderings, and Python
@@ -41,14 +51,26 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: bump when the result payload or task semantics change; salts the cache key
-#: (v4: optional per-task ``telemetry`` summary embedded in results when
+#: (v5: new ``adaptive`` and ``cross_check`` kinds; certificate-decided
+#: reachable verdicts now construct witnesses without search, so
+#: witness-bearing results can report ``states_explored`` of 0;
+#: v4: optional per-task ``telemetry`` summary embedded in results when
 #: ``REPRO_TELEMETRY`` is on; v3: static-certificate pre-pass --
 #: certificate-decided reachability and classify tasks report
 #: ``states_explored``/``scenarios_tested`` of 0 and a ``certificate``
 #: detail; new ``lint`` kind)
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
-ANALYSIS_KINDS = ("reachability", "classify", "min_delay", "simulate", "cdg", "lint")
+ANALYSIS_KINDS = (
+    "reachability",
+    "classify",
+    "min_delay",
+    "simulate",
+    "cdg",
+    "lint",
+    "adaptive",
+    "cross_check",
+)
 
 Params = tuple[tuple[str, Any], ...]
 
@@ -416,6 +438,76 @@ def _run_lint(
     }
 
 
+def _run_adaptive(
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
+) -> tuple[str, dict[str, Any]]:
+    from repro.analysis.adaptive_state import search_adaptive_deadlock
+
+    if bundle.adaptive is None:
+        raise ValueError("scenario exposes no adaptive routing function")
+    fn, messages = bundle.adaptive
+    res = search_adaptive_deadlock(
+        fn,
+        messages,
+        budget=int(p.get("budget", 0)),
+        max_states=int(p.get("max_states", 500_000)),
+    )
+    verdict = "deadlock" if res.deadlock_reachable else "unreachable"
+    return verdict, {
+        "states_explored": res.states_explored,
+        "certificate": res.certificate,
+        "deadlocked_tags": list(res.deadlocked_tags),
+    }
+
+
+def _run_cross_check(
+    bundle, p: dict[str, Any], search_jobs: int = 1, engine: str | None = None
+) -> tuple[str, dict[str, Any]]:
+    """Witness emission + replay cross-validation for one scenario.
+
+    Any layer disagreeing -- the witness failing successor-relation
+    validation, or the flit-level replay not deadlocking -- yields a
+    distinct verdict (``witness-invalid`` / ``replay-failed``) so the
+    battery's ``expect`` comparison flags it.
+    """
+    from repro.analysis import SystemSpec, search_deadlock
+    from repro.lint.witness import replay_certificate_witness, validate_witness
+
+    if not bundle.messages or bundle.algorithm is None:
+        raise ValueError("cross_check needs both messages and an algorithm")
+    spec = SystemSpec.uniform(bundle.messages, budget=int(p.get("budget", 0)))
+    res = search_deadlock(
+        spec,
+        max_states=int(p.get("max_states", 4_000_000)),
+        find_witness=True,
+        jobs=search_jobs,
+        engine=engine,
+    )
+    detail: dict[str, Any] = {
+        "states_explored": res.states_explored,
+        "certificate": res.certificate,
+    }
+    if not res.deadlock_reachable:
+        return "unreachable", detail
+    if res.witness is None:
+        return "deadlock", detail  # reachable decided without a schedule
+    detail["witness_valid"] = validate_witness(res.witness)
+    net = bundle.algorithm.network
+    chan = {c.cid: c for c in net.channels}
+    src_dst = [
+        (chan[m.path[0]].src, chan[m.path[-1]].dst)
+        for m in res.witness.spec.messages
+    ]
+    detail["replay_deadlocked"] = replay_certificate_witness(
+        res.witness, net, bundle.algorithm.fn, src_dst
+    )
+    if not detail["witness_valid"]:
+        return "witness-invalid", detail
+    if not detail["replay_deadlocked"]:
+        return "replay-failed", detail
+    return "deadlock", detail
+
+
 _KIND_RUNNERS = {
     "reachability": _run_reachability,
     "classify": _run_classify,
@@ -423,6 +515,8 @@ _KIND_RUNNERS = {
     "simulate": _run_simulate,
     "cdg": _run_cdg,
     "lint": _run_lint,
+    "adaptive": _run_adaptive,
+    "cross_check": _run_cross_check,
 }
 
 

@@ -22,6 +22,7 @@ from repro.cdg.analysis import is_acyclic
 from repro.cdg.build import build_cdg
 from repro.routing.adaptive import AdaptiveRoutingFunction
 from repro.routing.base import INJECT, RoutingAlgorithm, RoutingError
+from repro.topology.channels import Channel
 
 
 def build_adaptive_cdg(fn: AdaptiveRoutingFunction) -> nx.DiGraph:
@@ -72,6 +73,13 @@ class DuatoCertificate:
     full_cdg_acyclic: bool
     escape_cdg_acyclic: bool
     escape_connected: bool
+    #: channels of the escape sub-CDG -- the resource set the certificate
+    #: reasons about
+    escape_channels: tuple[Channel, ...] = ()
+    #: a topological order of the escape sub-CDG when acyclic: the
+    #: constructive content of the certificate (escape channels always
+    #: drain in this order, so a blocked message can eventually escape)
+    escape_order: tuple[Channel, ...] = ()
 
     @property
     def deadlock_free(self) -> bool:
@@ -94,8 +102,13 @@ def duato_certificate(fn: AdaptiveRoutingFunction) -> DuatoCertificate:
 
     escape_cdg = build_cdg(alg)
     full = build_adaptive_cdg(fn)
+    escape_acyclic = is_acyclic(escape_cdg)
     return DuatoCertificate(
         full_cdg_acyclic=is_acyclic(full),
-        escape_cdg_acyclic=is_acyclic(escape_cdg),
+        escape_cdg_acyclic=escape_acyclic,
         escape_connected=is_connected(alg),
+        escape_channels=tuple(sorted(escape_cdg.nodes, key=lambda c: c.cid)),
+        escape_order=(
+            tuple(nx.topological_sort(escape_cdg)) if escape_acyclic else ()
+        ),
     )

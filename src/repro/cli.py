@@ -690,7 +690,7 @@ def _cmd_campaign_clean(args: argparse.Namespace) -> int:
 #: construction is linted once
 _ANALYSIS_ONLY_PARAMS = frozenset(
     {"max_states", "max_delay", "budget", "length_slack", "extra_copies",
-     "copy_depth", "max_cycles", "rate", "cycles", "length", "seed"}
+     "copy_depth", "max_cycles", "rate", "cycles", "length", "seed", "msgs"}
 )
 
 
@@ -764,6 +764,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         reports.append(report)
         exit_code = max(exit_code, report.exit_code)
+
+    if getattr(args, "sarif", None):
+        from pathlib import Path
+
+        from repro.lint.sarif import sarif_log
+
+        log = sarif_log(reports)
+        Path(args.sarif).write_text(_json.dumps(log, indent=2) + "\n")
+        print(f"wrote SARIF log ({len(log['runs'][0]['results'])} results) "
+              f"to {args.sarif}", file=sys.stderr)
 
     if args.json:
         payload = [r.to_json() for r in reports]
@@ -1088,6 +1098,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign spec to derive --all targets from (default: paper-battery)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write diagnostics as a SARIF 2.1.0 log to PATH",
+    )
     p.add_argument(
         "--verbose", action="store_true", help="print per-diagnostic evidence"
     )

@@ -1,23 +1,34 @@
-"""Static deadlock linter for oblivious wormhole routing.
+"""Static deadlock linter for oblivious and adaptive wormhole routing.
 
 A rule engine over routing algorithms and message specs that turns the
 paper's static arguments into machine-checkable *certificates*:
 
 * acyclic CDG  =>  ``DEADLOCK_FREE``  (Dally--Seitz),
 * structural properties (Corollaries 1-3) or constructive tilings
-  (Theorems 2-4)  =>  ``REACHABLE_DEADLOCK``.
+  (Theorems 2-4)  =>  ``REACHABLE_DEADLOCK``,
+* connected acyclic escape subfunction  =>  ``DEADLOCK_FREE`` for
+  adaptive routing (Duato, CRT008).
+
+Reachable verdicts from the Theorem-2 tiling (CRT005) are *constructive*:
+:func:`certificate_witness` replays the certificate's stall-free
+injection schedule through the state model and emits a validated
+:class:`~repro.analysis.reachability.Witness` without any search.
 
 The analysis layer consults these certificates as a pre-pass before
 running the reachability search (gated by ``REPRO_STATIC_CERTIFICATES``);
 ``python -m repro lint`` exposes the full rule catalogue on the command
-line.  See ``docs/LINT.md`` for the catalogue with paper citations.
+line, with ``--sarif`` producing a SARIF 2.1.0 log for CI.  See
+``docs/LINT.md`` for the catalogue with paper citations.
 """
 
 from repro.lint.certificates import (
+    CERT_COUNTERS,
     ENV_VAR,
     Certificate,
     CertificateMismatch,
+    adaptive_certificate,
     algorithm_certificate,
+    bump_counter,
     certificates_mode,
     cycle_certificate,
     spec_certificate,
@@ -31,11 +42,24 @@ from repro.lint.diagnostics import (
     LintReport,
     jsonable,
 )
-from repro.lint.engine import LintContext, lint_algorithm, lint_messages
+from repro.lint.engine import (
+    LintContext,
+    lint_adaptive,
+    lint_algorithm,
+    lint_messages,
+)
 from repro.lint.rules import Rule, all_rules, get_rule
+from repro.lint.sarif import sarif_log
 from repro.lint.tiling import Run, Tiling, cycle_runs, enumerate_tilings
+from repro.lint.witness import (
+    build_crt005_witness,
+    certificate_witness,
+    replay_certificate_witness,
+    validate_witness,
+)
 
 __all__ = [
+    "CERT_COUNTERS",
     "ENV_VAR",
     "DEADLOCK_FREE",
     "REACHABLE_DEADLOCK",
@@ -47,17 +71,25 @@ __all__ = [
     "Rule",
     "Run",
     "Tiling",
+    "adaptive_certificate",
     "algorithm_certificate",
     "all_rules",
+    "build_crt005_witness",
+    "bump_counter",
+    "certificate_witness",
     "certificates_mode",
     "cycle_certificate",
     "cycle_runs",
     "enumerate_tilings",
     "get_rule",
     "jsonable",
+    "lint_adaptive",
     "lint_algorithm",
     "lint_messages",
+    "replay_certificate_witness",
+    "sarif_log",
     "spec_certificate",
     "spec_dependency_graph",
     "suffix_tiling_messages",
+    "validate_witness",
 ]

@@ -9,7 +9,11 @@ replace the exhaustive reachability search:
     among messages, and each holder's contiguous occupied path segment maps
     the waited-on channels onto a cycle of dependency edges -- impossible
     in an acyclic dependency graph.  Budget-independent (stalls add no
-    wait-for edges).
+    wait-for edges).  For *adaptive* routing functions the same verdict
+    comes from Duato's escape-channel condition (``CRT008``,
+    :func:`adaptive_certificate`): a connected escape subfunction with an
+    acyclic escape CDG, evidenced by the escape channel set and a
+    topological drain order.
 
 ``REACHABLE_DEADLOCK``
     A Definition-6 deadlock configuration exists *and* is provably
@@ -81,6 +85,29 @@ def certificates_mode(override: str | None = None) -> str:
 
 class CertificateMismatch(AssertionError):
     """A static certificate disagreed with the search engine (check mode)."""
+
+
+#: process-wide activity counters for the certificate layer, mirrored into
+#: telemetry when it is enabled; always incremented so tests can assert on
+#: them without standing up the telemetry stack
+CERT_COUNTERS: dict[str, int] = {
+    "lint.certificate.witness_emitted": 0,
+    "lint.certificate.witness_failed": 0,
+    "lint.certificate.replay.pass": 0,
+    "lint.certificate.replay.fail": 0,
+    "lint.certificate.adaptive.decided": 0,
+    "lint.certificate.adaptive.undecided": 0,
+}
+
+
+def bump_counter(name: str, value: int = 1) -> None:
+    """Increment a certificate-activity counter (and telemetry, if on)."""
+    CERT_COUNTERS[name] = CERT_COUNTERS.get(name, 0) + value
+    from repro.obs import get as _obs_get
+
+    tel = _obs_get()
+    if tel is not None:
+        tel.incr(name, value)
 
 
 @dataclass(frozen=True)
@@ -232,6 +259,62 @@ def _check_disjoint_tiling(
         prefixes.append(pset)
         out.append((idx + held, prefix))
     return out
+
+
+# ----------------------------------------------------------------------
+# adaptive routing: Duato's escape-channel certificate (CRT008)
+# ----------------------------------------------------------------------
+def adaptive_certificate(fn: Any) -> Certificate | None:
+    """Static verdict for an adaptive routing function, or ``None``.
+
+    Duato's sufficiency (``CRT008``): a *connected* escape subfunction
+    with an acyclic escape CDG makes the adaptive function deadlock-free
+    even though its full CDG may be cyclic -- a blocked message can always
+    fall back to the escape channels, which drain in topological order
+    (the certificate's evidence carries that order).  Functions without
+    an escape subfunction fall back to Dally--Seitz over the full
+    adaptive CDG (``CRT001``).  There is no static reachable-deadlock
+    argument at this level: the oblivious tiling certificates reason over
+    fixed paths, which an adaptive router can abandon mid-flight.
+    """
+    from repro.cdg.adaptive import build_adaptive_cdg, duato_certificate
+
+    if getattr(fn, "escape_function", None) is not None:
+        duato = duato_certificate(fn)
+        if duato.deadlock_free:
+            bump_counter("lint.certificate.adaptive.decided")
+            return Certificate(
+                code="CRT008",
+                verdict=DEADLOCK_FREE,
+                rationale=(
+                    "connected escape subfunction with an acyclic escape CDG "
+                    "(Duato): every blocked message can always route onto the "
+                    "escape channels, which drain in topological order"
+                ),
+                evidence={
+                    "escape_channels": list(duato.escape_channels),
+                    "escape_order": [ch.short() for ch in duato.escape_order],
+                    "full_cdg_acyclic": duato.full_cdg_acyclic,
+                    "escape_connected": duato.escape_connected,
+                },
+            )
+        bump_counter("lint.certificate.adaptive.undecided")
+        return None
+    full = build_adaptive_cdg(fn)
+    if is_acyclic(full):
+        order = {ch.short(): i for i, ch in enumerate(nx.topological_sort(full))}
+        bump_counter("lint.certificate.adaptive.decided")
+        return Certificate(
+            code="CRT001",
+            verdict=DEADLOCK_FREE,
+            rationale=(
+                "full adaptive channel dependency graph is acyclic: "
+                "deadlock-free by Dally-Seitz regardless of route choice"
+            ),
+            evidence={"numbering": order, "channels": full.number_of_nodes()},
+        )
+    bump_counter("lint.certificate.adaptive.undecided")
+    return None
 
 
 # ----------------------------------------------------------------------

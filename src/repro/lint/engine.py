@@ -19,7 +19,10 @@ many rules consult them.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing.adaptive import AdaptiveRoutingFunction
 
 import networkx as nx
 
@@ -60,6 +63,10 @@ class LintContext:
         self.pairs = list(pairs) if pairs is not None else None
         self.max_cycles = max_cycles
         self.max_probe_cycles = max_probe_cycles
+        #: adaptive functions get the full candidate-relation CDG and the
+        #: Duato certificate; scan-based rules see their deterministic
+        #: projection (first candidate) via ``alg`` as usual
+        self.is_adaptive: bool = bool(getattr(alg.fn, "is_adaptive", False))
         self._scan: PropertyScan | None = None
         self._cdg: nx.DiGraph | None = None
         self._cycles: CycleEnumeration | None = None
@@ -78,7 +85,12 @@ class LintContext:
     @property
     def cdg(self) -> nx.DiGraph:
         if self._cdg is None:
-            self._cdg = build_cdg(self.alg, list(self.scan.domain))
+            if self.is_adaptive:
+                from repro.cdg.adaptive import build_adaptive_cdg
+
+                self._cdg = build_adaptive_cdg(self.alg.fn)
+            else:
+                self._cdg = build_cdg(self.alg, list(self.scan.domain))
         return self._cdg
 
     @property
@@ -111,9 +123,18 @@ class LintContext:
         A broken routing domain (undefined or structurally invalid routes)
         suppresses certification entirely: the corollary arguments assume
         the checked property holds over the whole intended domain.
+        Adaptive functions are certified through
+        :func:`repro.lint.certificates.adaptive_certificate` (Duato's
+        CRT008 or full-CDG Dally--Seitz) -- the oblivious tiling and
+        corollary arguments do not transfer to a router that can abandon
+        the scanned path mid-flight.
         """
         if self._certificate is _UNSET:
-            if any(
+            if self.is_adaptive:
+                from repro.lint.certificates import adaptive_certificate
+
+                self._certificate = adaptive_certificate(self.alg.fn)
+            elif any(
                 err.kind != "undefined" for err in self.route_errors().values()
             ):
                 self._certificate = None
@@ -174,6 +195,27 @@ def _lint_algorithm_impl(ctx: LintContext, target: str) -> LintReport:
             if diag.certificate is not None:
                 certified = True
     return report
+
+
+def lint_adaptive(
+    fn: "AdaptiveRoutingFunction",
+    pairs: Sequence[Pair] | None = None,
+    *,
+    name: str | None = None,
+    max_cycles: int = 10_000,
+) -> LintReport:
+    """Lint an adaptive routing function.
+
+    Wraps ``fn`` in a :class:`~repro.routing.base.RoutingAlgorithm` and
+    runs the full rule catalogue: scan-based rules (RTE/PRP) see the
+    function's deterministic projection (first candidate), while the CDG
+    and certificate rules see the full candidate relation through the
+    adaptive CDG and CRT008/CRT001
+    (:func:`repro.lint.certificates.adaptive_certificate`).
+    """
+    return lint_algorithm(
+        RoutingAlgorithm(fn), pairs, name=name, max_cycles=max_cycles
+    )
 
 
 def lint_messages(

@@ -514,3 +514,14 @@ def _crt_thm3(ctx: "LintContext") -> list[Diagnostic]:
 )
 def _crt_thm4(ctx: "LintContext") -> list[Diagnostic]:
     return _certificate_diag(ctx, "CRT007")
+
+
+@rule(
+    "CRT008",
+    "connected acyclic escape subfunction: deadlock-free (Duato)",
+    severity="info",
+    paper_ref="Duato '91/'93; Section 7 (adaptive routing)",
+    certificate=True,
+)
+def _crt_duato(ctx: "LintContext") -> list[Diagnostic]:
+    return _certificate_diag(ctx, "CRT008")

@@ -78,6 +78,16 @@ class TelemetryReport:
             if k.startswith(prefix) and v
         }
 
+    def certificate_activity(self) -> dict[str, float]:
+        """Nonzero certificate-layer counters (witness emission, replay,
+        adaptive decisions), keyed without the ``lint.certificate.`` prefix."""
+        prefix = "lint.certificate."
+        return {
+            k[len(prefix):]: v
+            for k, v in self.counters.items()
+            if k.startswith(prefix) and v
+        }
+
     def to_json(self) -> dict[str, Any]:
         return {
             "path": self.path,
@@ -91,6 +101,9 @@ class TelemetryReport:
             "cache_hit_rate": self.cache_hit_rate(),
             "engine_fallbacks": dict(sorted(self.engine_fallbacks().items())),
             "auto_engine_picks": dict(sorted(self.auto_engine_picks().items())),
+            "certificate_activity": dict(
+                sorted(self.certificate_activity().items())
+            ),
         }
 
 
@@ -163,6 +176,11 @@ def render(report: TelemetryReport, *, top: int = 10) -> str:
     if picks:
         head["auto engine picks"] = ", ".join(
             f"{k}={v:g}" for k, v in sorted(picks.items())
+        )
+    certs = report.certificate_activity()
+    if certs:
+        head["certificate activity"] = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(certs.items())
         )
     parts = [render_kv(head, title="telemetry report")]
 

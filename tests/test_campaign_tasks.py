@@ -147,3 +147,69 @@ def test_shard_tasks_partition_is_disjoint_and_complete():
     merged = [t.task_hash for shard in shards for t in shard]
     assert sorted(merged) == sorted(t.task_hash for t in tasks)
     assert len(set(merged)) == len(tasks)
+
+
+# ----------------------------------------------------------------------
+# v5 task kinds: adaptive exhaustive search + witness/replay cross-check
+# ----------------------------------------------------------------------
+class TestAdaptiveKind:
+    def test_escape_mesh_unreachable(self):
+        task = CampaignTask.make(
+            "adaptive", "adaptive-mesh",
+            routing="escape", dims=[2, 2], msgs=2, expect="unreachable",
+        )
+        res = execute_task(task)
+        assert res.ok and res.verdict == "unreachable"
+        assert res.expect_matches is True
+        # the search confirms what CRT008 certifies (default mode: on)
+        assert res.detail["certificate"] == "CRT008"
+        assert res.detail["states_explored"] == 0
+
+    def test_full_mesh_four_corners_deadlocks(self):
+        task = CampaignTask.make(
+            "adaptive", "adaptive-mesh",
+            routing="full", dims=[2, 2], msgs=4, expect="deadlock",
+        )
+        res = execute_task(task)
+        assert res.ok and res.verdict == "deadlock"
+        assert set(res.detail["deadlocked_tags"]) == {"c0", "c1", "c2", "c3"}
+        assert res.detail["certificate"] is None
+
+    def test_non_adaptive_scenario_is_captured(self):
+        res = execute_task(CampaignTask.make("adaptive", "fig1"))
+        assert not res.ok and res.verdict == "error"
+        assert "adaptive routing function" in res.error
+
+
+class TestCrossCheckKind:
+    def test_theorem2_certificate_witness_replays(self):
+        task = CampaignTask.make(
+            "cross_check", "theorem2-overlap",
+            ring_n=6, entries=[0, 2, 4], run_lens=[3, 3, 3], expect="deadlock",
+        )
+        res = execute_task(task)
+        assert res.ok and res.verdict == "deadlock"
+        assert res.detail["witness_valid"] is True
+        assert res.detail["replay_deadlocked"] is True
+
+    def test_bfs_witness_also_replays(self, monkeypatch):
+        # with certificates off the witness comes from the BFS; the
+        # validation + replay pipeline must accept it identically
+        monkeypatch.setenv("REPRO_STATIC_CERTIFICATES", "off")
+        task = CampaignTask.make(
+            "cross_check", "fig2-pair", d1=3, d2=1, hold=3, expect="deadlock"
+        )
+        res = execute_task(task)
+        assert res.ok and res.verdict == "deadlock"
+        assert res.detail["states_explored"] > 0
+        assert res.detail["witness_valid"] is True
+        assert res.detail["replay_deadlocked"] is True
+
+    def test_scenario_without_messages_is_captured(self):
+        res = execute_task(
+            CampaignTask.make(
+                "cross_check", "adaptive-mesh",
+                routing="full", dims=[2, 2], msgs=4,
+            )
+        )
+        assert not res.ok and "messages" in res.error

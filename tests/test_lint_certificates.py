@@ -142,12 +142,15 @@ class TestSearchFastPath:
         assert res.states_explored == 0 and res.witness is None
         assert res.certificate == "CRT005"
 
-    def test_witness_mode_still_searches(self):
-        """A certificate cannot conjure a witness: the search must run."""
+    def test_witness_mode_emits_constructive_witness(self):
+        """CRT005 now *constructs* the witness: zero BFS states explored."""
+        from repro.lint import validate_witness
+
         res = search_deadlock(_ring_spec(), find_witness=True, certificates="on")
         assert res.deadlock_reachable
-        assert res.witness is not None and res.states_explored > 0
-        assert res.certificate == "CRT005"  # annotated, not short-circuited
+        assert res.witness is not None and res.states_explored == 0
+        assert res.certificate == "CRT005"
+        assert validate_witness(res.witness)
 
     def test_mode_off_disables_annotation(self):
         res = search_deadlock(_ring_spec(), find_witness=False, certificates="off")

@@ -249,6 +249,56 @@ class TestSummarize:
         assert report.unparseable_lines == 2
         assert not report.schema_valid
 
+    def test_certificate_activity_surfaced(self, tmp_path):
+        """The certificate-layer counters get their own report line."""
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry()
+        with JsonlExporter(path) as exporter:
+            tel.add_sink(exporter)
+            tel.incr("lint.certificate.witness_emitted", 2)
+            tel.incr("lint.certificate.replay.pass", 2)
+            tel.incr("lint.certificate.adaptive.decided", 1)
+            tel.incr("search.certificate_short_circuits", 2)
+            tel.incr("unrelated", 7)
+        report = summarize(path)
+        assert report.certificate_activity() == {
+            "witness_emitted": 2,
+            "replay.pass": 2,
+            "adaptive.decided": 1,
+        }
+        text = render(report)
+        assert "certificate activity" in text
+        assert "witness_emitted=2" in text
+        assert report.to_json()["certificate_activity"] == {
+            "adaptive.decided": 1,
+            "replay.pass": 2,
+            "witness_emitted": 2,
+        }
+
+    def test_certificate_counters_mirror_into_telemetry(self, tmp_path):
+        """End to end: a certificate-decided search under a live collector
+        emits both the search fast-path counter and the lint mirror."""
+        from repro import obs
+        from repro.analysis.reachability import search_deadlock
+        from repro.analysis.state import CheckerMessage, SystemSpec
+
+        spec = SystemSpec.uniform(
+            [
+                CheckerMessage(path=(0, 1, 2), length=2, tag="a"),
+                CheckerMessage(path=(2, 3, 0), length=2, tag="b"),
+            ]
+        )
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry()
+        with JsonlExporter(path) as exporter:
+            tel.add_sink(exporter)
+            with obs.scope(tel):
+                res = search_deadlock(spec, find_witness=True, certificates="on")
+        assert res.states_explored == 0 and res.witness is not None
+        report = summarize(path)
+        assert report.counters["search.certificate_short_circuits"] == 1
+        assert report.certificate_activity()["witness_emitted"] == 1
+
 
 class TestCampaignIntegration:
     """The acceptance bar: events alone reproduce the ledger's numbers."""
