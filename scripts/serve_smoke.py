@@ -10,7 +10,10 @@ fleet would:
 3.  ``/v1/lint`` and a small ``/v1/campaign`` batch,
 4.  ``/v1/events`` subscription -- every streamed event must validate
     against the telemetry schema,
-5.  ``/v1/status`` -- the hit rate must be nonzero by now.
+5.  ``/v1/status`` -- the hit rate must be nonzero by now,
+6.  ``GET /metrics`` under the load above -- the exposition text must
+    pass the strict format checker and the request-latency histogram's
+    cumulative buckets must account for every request served.
 
 Exit 0 only if every check passes.  CI runs this as the serve-smoke job;
 locally::
@@ -31,7 +34,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs import validate_event  # noqa: E402
+from repro.obs import check_exposition, validate_event  # noqa: E402
+from repro.obs.prom import parse_samples  # noqa: E402
 from repro.serve import ReproServer, ServeClient, ServeConfig  # noqa: E402
 
 CHECKS: list[tuple[str, bool, str]] = []
@@ -134,6 +138,39 @@ def main() -> int:
             "status counts every request",
             status["server"]["requests"] >= 6,
             str(status["server"]["requests"]),
+        )
+
+        # 6. metrics scrape: strict exposition format + histogram math
+        text = client.metrics()
+        problems = check_exposition(text)
+        check(
+            "metrics exposition passes the strict checker",
+            not problems,
+            "; ".join(problems[:3]),
+        )
+        samples = parse_samples(text)
+        latency = samples.get("repro_serve_request_latency_s_bucket", {})
+        inf_count = sum(
+            v for labels, v in latency.items() if 'le="+Inf"' in labels
+        )
+        total = sum(
+            samples.get("repro_serve_request_latency_s_count", {}).values()
+        )
+        check(
+            "latency histogram buckets are cumulative to +Inf == _count",
+            latency and inf_count == total,
+            f"+Inf={inf_count} count={total}",
+        )
+        # 5 task requests so far: search x3 (cold/warm/fig2-pair),
+        # lint, campaign (status/events/metrics are not batched work)
+        check(
+            "latency histogram saw every task request",
+            total >= 5,
+            f"observed={total}",
+        )
+        check(
+            "request counter exported",
+            samples.get("repro_serve_requests_total", {}).get("", 0) >= 6,
         )
     finally:
         server.shutdown()

@@ -119,6 +119,12 @@ def engine_for(spec: SystemSpec) -> "FastEngine":
     return eng
 
 
+def peek_engine(spec: SystemSpec) -> "FastEngine | None":
+    """The cached engine for ``spec``, without counting a cache hit/miss
+    (telemetry peeks must not disturb the metered counters)."""
+    return _ENGINES.get(spec)
+
+
 class FastEngine:
     """Successor generation over a dense-bit, table-driven encoding of ``spec``."""
 
@@ -195,6 +201,13 @@ class FastEngine:
         self._dead_memo: dict[tuple, tuple[int, ...]] = {}
         #: BFS levels of the most recent :meth:`search` (telemetry only)
         self.last_search_depth: int | None = None
+        #: per-phase wall seconds of the most recent :meth:`search`; only
+        #: populated when telemetry is enabled (the gate is checked once
+        #: per search, so the disabled hot loop is untouched)
+        self.phase_seconds: dict[str, float] = {}
+        #: frontier width per BFS level of the most recent :meth:`search`
+        #: (telemetry-gated, like :attr:`phase_seconds`)
+        self.last_level_widths: list[int] = []
 
     # ------------------------------------------------------------------
     # table construction
@@ -819,7 +832,10 @@ class FastEngine:
         including the early-exit count when a deadlock is found (expansion
         order matches the reference's).
         """
+        from time import perf_counter
+
         from repro.analysis.reachability import SearchLimitExceeded
+        from repro.obs import get as _obs_get
 
         canon = self.canon if symmetry_reduction else None
         init = self.init_idx
@@ -842,8 +858,19 @@ class FastEngine:
         # partitions the deque into BFS levels), so verdicts and counts
         # stay bit-identical while the frontier depth becomes observable
         # through ``last_search_depth`` at near-zero cost per state.
+        # Phase timing + level widths are telemetry-gated: one enabled
+        # check per search, one branch per *level* (never per state), so
+        # disabled runs keep the benchmarked loop byte-for-byte.
+        prof = _obs_get() is not None
+        self.phase_seconds = {}
+        self.last_level_widths = []
+        expand_s = 0.0
+        t_level = 0.0
         depth = 0
         while queue:
+            if prof:
+                self.last_level_widths.append(len(queue))
+                t_level = perf_counter()
             for _ in range(len(queue)):
                 state, mask = popleft()
                 for nxt, dead, nmask in emissions(state, visited, canon, mask):
@@ -855,10 +882,18 @@ class FastEngine:
                         )
                     if dead:
                         self.last_search_depth = depth + 1
+                        if prof:
+                            self.phase_seconds["expand"] = (
+                                expand_s + perf_counter() - t_level
+                            )
                         return True, count
                     push((nxt, nmask))
+            if prof:
+                expand_s += perf_counter() - t_level
             depth += 1
         self.last_search_depth = depth
+        if prof:
+            self.phase_seconds["expand"] = expand_s
         return False, count
 
     def search_witness(
@@ -885,7 +920,10 @@ class FastEngine:
         reference's parent map would have stored: the witness is
         step-for-step the reference's.
         """
+        from time import perf_counter
+
         from repro.analysis.reachability import SearchLimitExceeded
+        from repro.obs import get as _obs_get
 
         canon = self.canon if symmetry_reduction else None
         init = self.init_idx
@@ -899,6 +937,13 @@ class FastEngine:
         popleft = queue.popleft
         push = queue.append
         count = 1
+        # same telemetry gating as search(): one enabled check per search.
+        # The queue is not level-partitioned here, so no per-level widths;
+        # expand and witness recovery are timed as two phases.
+        prof = _obs_get() is not None
+        self.phase_seconds = {}
+        self.last_level_widths = []
+        t_expand = perf_counter() if prof else 0.0
         while queue:
             state, mask = popleft()
             for nxt, dead, nmask in emissions(state, visited, canon, mask):
@@ -910,6 +955,11 @@ class FastEngine:
                     )
                 parent[nxt] = state
                 if dead:
+                    if prof:
+                        self.phase_seconds["expand"] = (
+                            perf_counter() - t_expand
+                        )
+                        t_witness = perf_counter()
                     chain = [nxt]
                     cur = nxt
                     while cur != init:
@@ -927,8 +977,14 @@ class FastEngine:
                                 break
                         else:  # pragma: no cover - parent chain is consistent
                             raise AssertionError("witness edge lost")
+                    if prof:
+                        self.phase_seconds["witness"] = (
+                            perf_counter() - t_witness
+                        )
                     return True, count, steps, states, dead
                 push((nxt, nmask))
+        if prof:
+            self.phase_seconds["expand"] = perf_counter() - t_expand
         return False, count, None, None, ()
 
     # ------------------------------------------------------------------

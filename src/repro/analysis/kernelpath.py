@@ -892,6 +892,12 @@ def kernel_engine_for(spec: SystemSpec) -> "KernelEngine":
     return eng
 
 
+def peek_engine(spec: SystemSpec) -> "KernelEngine | None":
+    """The cached engine for ``spec``, without counting a cache hit/miss
+    (telemetry peeks must not disturb the metered counters)."""
+    return _KENGINES.get(spec)
+
+
 class KernelEngine:
     """Compiled fused BFS over flat numpy transition tables."""
 
@@ -910,6 +916,11 @@ class KernelEngine:
         self.last_search_depth: int | None = None
         #: backend the most recent search ran on (telemetry only)
         self.last_backend: str | None = None
+        #: per-phase wall seconds of the most recent search -- ``kernel``
+        #: (the compiled call) and, for witness searches, ``witness`` (the
+        #: Python-side path recovery).  Populated only when telemetry is
+        #: enabled; the gate is checked once per search.
+        self.phase_seconds: dict[str, float] = {}
         if not self.kernelizable:
             return
         S = max(len(f._back[i]) for i in range(n))
@@ -1112,9 +1123,18 @@ class KernelEngine:
             )
             self.last_search_depth = self.fast.last_search_depth
             return result
+        from time import perf_counter
+
+        from repro.obs import get as _obs_get
+
+        prof = _obs_get() is not None
+        self.phase_seconds = {}
+        t0 = perf_counter() if prof else 0.0
         status, count, depth, _cfg, _par, _size = self._run(
             max_states, symmetry_reduction, track=False
         )
+        if prof:
+            self.phase_seconds["kernel"] = perf_counter() - t0
         if status == _STATUS_LIMIT:
             raise SearchLimitExceeded(_LIMIT_MSG.format(max_states=max_states))
         if status == _STATUS_OOM:  # pragma: no cover - allocator exhaustion
@@ -1138,9 +1158,19 @@ class KernelEngine:
             return self.fast.search_witness(
                 max_states=max_states, symmetry_reduction=symmetry_reduction
             )
+        from time import perf_counter
+
+        from repro.obs import get as _obs_get
+
+        prof = _obs_get() is not None
+        self.phase_seconds = {}
+        t0 = perf_counter() if prof else 0.0
         status, count, _depth, ar_cfg, ar_par, ar_size = self._run(
             max_states, symmetry_reduction, track=True
         )
+        if prof:
+            self.phase_seconds["kernel"] = perf_counter() - t0
+            t0 = perf_counter()
         if status == _STATUS_LIMIT:
             raise SearchLimitExceeded(_LIMIT_MSG.format(max_states=max_states))
         if status == _STATUS_OOM:  # pragma: no cover - allocator exhaustion
@@ -1172,6 +1202,8 @@ class KernelEngine:
                     break
             else:  # pragma: no cover - parent chain is consistent
                 raise AssertionError("witness edge lost")
+        if prof:
+            self.phase_seconds["witness"] = perf_counter() - t0
         return True, count, steps, states, dead
 
 

@@ -21,10 +21,12 @@ from repro.analysis.state import SystemSpec, SystemState
 # imports this module's SearchLimitExceeded lazily, so there is no cycle
 from repro.analysis.fastpath import engine_for as _engine_for
 from repro.analysis.fastpath import counters_snapshot as _counters_snapshot
+from repro.analysis.fastpath import peek_engine as _peek_fast
 
 # same reasoning for the vector engine (and its numpy import): load cost
 # lands at import time so benchmark setup phases absorb it untimed
 from repro.analysis.vectorpath import counters_snapshot as _v_counters_snapshot
+from repro.analysis.vectorpath import peek_engine as _peek_vector
 from repro.analysis.vectorpath import vector_engine_for as _vector_engine_for
 
 # and for the kernel engine: the module itself is dependency-free (its
@@ -32,6 +34,7 @@ from repro.analysis.vectorpath import vector_engine_for as _vector_engine_for
 from repro.analysis.kernelpath import counters_snapshot as _k_counters_snapshot
 from repro.analysis.kernelpath import kernel_available as _kernel_available
 from repro.analysis.kernelpath import kernel_engine_for as _kernel_engine_for
+from repro.analysis.kernelpath import peek_engine as _peek_kernel
 from repro.obs import get as _obs_get
 
 #: every name accepted by ``engine=`` / ``REPRO_SEARCH_ENGINE``
@@ -270,6 +273,12 @@ def search_deadlock(
         **_k_counters_snapshot(),
         **AUTO_COUNTERS,
     }
+    # the vector engine's phase timers are cumulative (reset_profile is
+    # owned by scripts/profile_hotpaths.py), so meter this search by delta
+    veng_before = _peek_vector(spec)
+    vphases_before = (
+        dict(veng_before.phase_seconds) if veng_before is not None else {}
+    )
     with tel.span(
         "search.deadlock",
         engine=resolved,
@@ -320,6 +329,39 @@ def search_deadlock(
                 sp.set(frontier_depth=keng.last_search_depth)
             if keng.last_backend is not None:
                 sp.set(kernel_backend=keng.last_backend)
+        # per-phase profile + level widths from whichever engine ran
+        # (peeked, so the engine-cache counters stay undisturbed)
+        phases: dict[str, float] = {}
+        widths: list[int] = []
+        if resolved == "fast" and jobs <= 1:
+            feng = _peek_fast(spec)
+            if feng is not None:
+                phases = feng.phase_seconds
+                widths = feng.last_level_widths
+        elif resolved == "vector":
+            veng2 = _peek_vector(spec)
+            if veng2 is not None:
+                phases = {
+                    p: s - vphases_before.get(p, 0.0)
+                    for p, s in veng2.phase_seconds.items()
+                }
+                widths = veng2.last_level_widths
+        elif resolved == "kernel":
+            keng2 = _peek_kernel(spec)
+            if keng2 is not None:
+                phases = keng2.phase_seconds
+        if result.states_explored:
+            for phase, seconds in phases.items():
+                if seconds > 0:
+                    tel.incr(f"{resolved}path.phase.{phase}_s", round(seconds, 6))
+            for width in widths:
+                tel.observe("search.level.width", width, engine=resolved)
+            if dur > 0:
+                tel.observe(
+                    "search.states_per_sec",
+                    result.states_explored / dur,
+                    engine=resolved,
+                )
         tel.incr("search.calls")
         tel.incr("search.states_explored", result.states_explored)
         if result.certificate is not None and result.states_explored == 0:

@@ -210,6 +210,12 @@ def vector_engine_for(spec: SystemSpec) -> "VectorEngine":
     return eng
 
 
+def peek_engine(spec: SystemSpec) -> "VectorEngine | None":
+    """The cached engine for ``spec``, without counting a cache hit/miss
+    (telemetry peeks must not disturb the metered counters)."""
+    return _VENGINES.get(spec)
+
+
 def _first_occurrences(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """``(first, cand)``: first-occurrence indices and their distinct keys.
 
@@ -358,6 +364,10 @@ class VectorEngine:
         self.last_peak_frontier: int = 0
         #: cumulative per-phase wall seconds (scripts/profile_hotpaths.py)
         self.phase_seconds: dict[str, float] = {p: 0.0 for p in _PHASES}
+        #: frontier width per BFS level of the most recent :meth:`search`
+        #: (one append per level -- cheap enough to stay always-on, like
+        #: the phase timers)
+        self.last_level_widths: list[int] = []
         if not self.vectorizable:
             return
         #: occupancy-mask dtype: int32 when the mask fits (halves the
@@ -1215,6 +1225,7 @@ class VectorEngine:
                 max_states=max_states, symmetry_reduction=symmetry_reduction
             )
             self.last_search_depth = self.fast.last_search_depth
+            self.last_level_widths = self.fast.last_level_widths
             return result
 
         f = self.fast
@@ -1231,12 +1242,15 @@ class VectorEngine:
         lst: list[tuple[tuple, int]] = [(init, init_mask)]
         emissions = f._emissions
         phases = self.phase_seconds
+        widths: list[int] = []
+        self.last_level_widths = widths
         try:
             # --- narrow prologue: fused fast-engine expansion against a
             # Python-set visited store (identical per-state semantics) ---
             while lst and len(lst) < MIN_VECTOR_FRONTIER:
                 if len(lst) > peak:
                     peak = len(lst)
+                widths.append(len(lst))
                 stats["narrow"] += 1
                 t0 = time.perf_counter()
                 nxt_lst: list[tuple[tuple, int]] = []
@@ -1271,6 +1285,7 @@ class VectorEngine:
             while arr_cfg.shape[0]:
                 if arr_cfg.shape[0] > peak:
                     peak = arr_cfg.shape[0]
+                widths.append(int(arr_cfg.shape[0]))
                 stats["wide"] += 1
                 t0 = time.perf_counter()
                 em_cfg, em_mask, _roots = self._expand_level(

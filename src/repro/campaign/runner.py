@@ -31,8 +31,10 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import nullcontext
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+from typing import ContextManager
 
 from repro.campaign.cache import CacheBackend
 from repro.campaign.ledger import CampaignSummary, RunLedger
@@ -73,12 +75,39 @@ class RunnerConfig:
             )
 
 
-def _pool_worker(payload: dict, search_jobs: int = 1, engine: str | None = None) -> dict:
-    """Worker-process entry: JSON in, JSON out (always picklable)."""
+def _trace_scope(carrier: str | None) -> ContextManager[None]:
+    """A scope adopting ``carrier`` (a traceparent string) as the remote
+    trace parent -- a no-op when telemetry is off or the carrier is
+    missing/malformed.  Falls back to the ``REPRO_TRACE`` environment
+    carrier, which spawned processes inherit from a traced parent."""
+    from repro.obs import get as _obs_get
+    from repro.obs.trace import extract_env, extract_traceparent
+
+    tel = _obs_get()
+    if tel is None:
+        return nullcontext()
+    ctx = extract_traceparent(carrier) if carrier else extract_env()
+    return nullcontext() if ctx is None else tel.activate(ctx)
+
+
+def _pool_worker(
+    payload: dict,
+    search_jobs: int = 1,
+    engine: str | None = None,
+    trace_carrier: str | None = None,
+) -> dict:
+    """Worker-process entry: JSON in, JSON out (always picklable).
+
+    ``trace_carrier`` joins the task's events to the submitting request's
+    trace (the serve batcher passes one per task); without it the
+    ``REPRO_TRACE`` environment carrier inherited from a traced parent
+    process applies.
+    """
     task = CampaignTask.from_json(payload)
-    return execute_task(
-        task, worker=f"pid{os.getpid()}", search_jobs=search_jobs, engine=engine
-    ).to_json()
+    with _trace_scope(trace_carrier):
+        return execute_task(
+            task, worker=f"pid{os.getpid()}", search_jobs=search_jobs, engine=engine
+        ).to_json()
 
 
 def _infra_failure(task: CampaignTask, error: str) -> TaskResult:
@@ -103,19 +132,38 @@ class _WaveExecutor:
         self.config = config
         self.serial_forced = config.max_workers <= 1
 
-    def run(self, tasks: Sequence[CampaignTask]) -> list[TaskResult]:
+    def run(
+        self,
+        tasks: Sequence[CampaignTask],
+        traces: dict[str, str] | None = None,
+    ) -> list[TaskResult]:
         if not tasks:
             return []
         jobs = self.config.search_jobs
         engine = self.config.engine
         if self.serial_forced:
-            return [
-                execute_task(t, worker="serial", search_jobs=jobs, engine=engine)
-                for t in tasks
-            ]
-        return self._run_pool(tasks)
+            return [self._run_serial(t, "serial", traces) for t in tasks]
+        return self._run_pool(tasks, traces)
 
-    def _run_pool(self, tasks: Sequence[CampaignTask]) -> list[TaskResult]:
+    def _run_serial(
+        self,
+        task: CampaignTask,
+        worker: str,
+        traces: dict[str, str] | None,
+    ) -> TaskResult:
+        with _trace_scope(traces.get(task.task_hash) if traces else None):
+            return execute_task(
+                task,
+                worker=worker,
+                search_jobs=self.config.search_jobs,
+                engine=self.config.engine,
+            )
+
+    def _run_pool(
+        self,
+        tasks: Sequence[CampaignTask],
+        traces: dict[str, str] | None,
+    ) -> list[TaskResult]:
         jobs = self.config.search_jobs
         engine = self.config.engine
         try:
@@ -124,27 +172,28 @@ class _WaveExecutor:
             executor = ProcessPoolExecutor(max_workers=self.config.max_workers)
         except Exception:  # noqa: BLE001 - environment without process support
             self.serial_forced = True
-            return [
-                execute_task(t, worker="serial", search_jobs=jobs, engine=engine)
-                for t in tasks
-            ]
+            return [self._run_serial(t, "serial", traces) for t in tasks]
 
         results: list[TaskResult] = []
         broken = False
         try:
             futures = [
-                (executor.submit(_pool_worker, t.to_json(), jobs, engine), t)
+                (
+                    executor.submit(
+                        _pool_worker,
+                        t.to_json(),
+                        jobs,
+                        engine,
+                        traces.get(t.task_hash) if traces else None,
+                    ),
+                    t,
+                )
                 for t in tasks
             ]
             for fut, task in futures:
                 if broken:
                     results.append(
-                        execute_task(
-                            task,
-                            worker="serial-fallback",
-                            search_jobs=jobs,
-                            engine=engine,
-                        )
+                        self._run_serial(task, "serial-fallback", traces)
                     )
                     continue
                 try:
@@ -179,8 +228,15 @@ def run_campaign(
     progress: ProgressReporter | None = None,
     config: RunnerConfig | None = None,
     spec_name: str = "",
+    traces: dict[str, str] | None = None,
 ) -> tuple[list[TaskResult], CampaignSummary]:
-    """Execute a batch of tasks; returns (results in task order, summary)."""
+    """Execute a batch of tasks; returns (results in task order, summary).
+
+    ``traces`` maps ``task_hash`` to the traceparent carrier of the
+    request that submitted the task (the serve batcher's batches mix
+    requests): each task's events and its ``campaign.task`` span then
+    join the submitting trace instead of this campaign's own.
+    """
     from repro.obs import get as _obs_get
 
     tel = _obs_get()
@@ -193,6 +249,7 @@ def run_campaign(
             config=config,
             spec_name=spec_name,
             tel=None,
+            traces=traces,
         )
     with tel.span("campaign.run", spec=spec_name) as sp:
         results, summary = _run_campaign_impl(
@@ -203,6 +260,7 @@ def run_campaign(
             config=config,
             spec_name=spec_name,
             tel=tel,
+            traces=traces,
         )
         sp.set(
             tasks=summary.total,
@@ -225,6 +283,7 @@ def _run_campaign_impl(
     config: RunnerConfig | None,
     spec_name: str,
     tel,
+    traces: dict[str, str] | None = None,
 ) -> tuple[list[TaskResult], CampaignSummary]:
     config = config or RunnerConfig()
     t0 = time.perf_counter()
@@ -243,12 +302,20 @@ def _run_campaign_impl(
         by_hash[task.task_hash] = result
         summary.add(result)
         if tel is not None:
+            from repro.obs.trace import extract_traceparent
+
+            trace_ctx = (
+                extract_traceparent(traces.get(task.task_hash))
+                if traces
+                else None
+            )
             # one span per task, emitted by the coordinating process so
             # cache hits, serial runs and pool workers all look alike;
             # the duration is the task's own measured wall time
             tel.point_span(
                 "campaign.task",
                 result.wall_time,
+                trace_ctx=trace_ctx,
                 task_hash=result.task_hash,
                 name=result.name,
                 kind=result.kind,
@@ -260,6 +327,9 @@ def _run_campaign_impl(
                 certificate=result.detail.get("certificate"),
             )
             tel.incr("campaign.tasks")
+            tel.observe(
+                "campaign.task.wall_s", result.wall_time, kind=result.kind
+            )
             if not result.ok:
                 tel.incr("campaign.tasks.failed")
             # exactly one cache lookup happens per unique task, so these
@@ -291,7 +361,7 @@ def _run_campaign_impl(
         if attempt > 1:
             time.sleep(config.backoff * (2 ** (attempt - 2)))
         retry_wave: list[CampaignTask] = []
-        for task, result in zip(wave, executor.run(wave)):
+        for task, result in zip(wave, executor.run(wave, traces)):
             result.attempts = attempt
             if not result.ok and attempt <= config.retries:
                 retry_wave.append(task)

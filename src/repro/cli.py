@@ -45,6 +45,7 @@ PATH`` (end-of-run metrics snapshot).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
@@ -66,8 +67,6 @@ def _telemetry_session(args: argparse.Namespace, command: str) -> Iterator[None]
         yield
         return
 
-    import os
-
     import repro.obs as obs
 
     prev_env = os.environ.get(obs.ENV_VAR)
@@ -79,11 +78,19 @@ def _telemetry_session(args: argparse.Namespace, command: str) -> Iterator[None]
         tel.add_sink(exporter)
     name = f"repro.{command}"
     tel.run_start(name, argv=list(sys.argv[1:]))
+    prev_trace = os.environ.get(obs.TRACE_ENV)
     try:
-        with tel.span(name):
+        with tel.span(name) as root:
+            # the REPRO_TRACE carrier joins spawned worker processes
+            # (campaign pools) to this invocation's trace
+            obs.inject_env(root.context())
             yield
     finally:
         tel.run_end(name)
+        if prev_trace is None:
+            os.environ.pop(obs.TRACE_ENV, None)
+        else:
+            os.environ[obs.TRACE_ENV] = prev_trace
         if snapshot_path:
             obs.write_snapshot(tel, snapshot_path)
         if exporter is not None:
@@ -300,11 +307,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_telemetry_report(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.obs.report import render, summarize
+    from repro.obs.report import EventStreamError, render, summarize
 
     try:
         report = summarize(args.events)
-    except OSError as exc:
+    except (EventStreamError, OSError) as exc:
         print(f"telemetry report: {exc}", file=sys.stderr)
         return 2
     if args.json:
@@ -313,6 +320,81 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
         print(render(report, top=args.top))
     if args.strict and not report.schema_valid:
         return 1
+    return 0
+
+
+def _cmd_telemetry_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.report import (
+        EventStreamError,
+        build_span_tree,
+        read_events,
+        render_span_tree,
+        trace_ids,
+    )
+
+    try:
+        events, _bad = read_events(args.events)
+    except (EventStreamError, OSError) as exc:
+        print(f"telemetry trace: {exc}", file=sys.stderr)
+        return 2
+    ids = trace_ids(events)
+    if args.trace_id is None:
+        if not ids:
+            print(
+                "telemetry trace: no trace ids in the stream "
+                "(pre-v2 recording?)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(_json.dumps({"traces": ids}, indent=2))
+        else:
+            for tid, spans in ids.items():
+                print(f"{tid}  {spans} span{'s' if spans != 1 else ''}")
+        return 0
+    matches = [t for t in ids if t == args.trace_id or t.startswith(args.trace_id)]
+    if not matches:
+        print(
+            f"telemetry trace: no trace {args.trace_id!r} in {args.events} "
+            f"({len(ids)} trace{'s' if len(ids) != 1 else ''} present; run "
+            "without an id to list them)",
+            file=sys.stderr,
+        )
+        return 2
+    if len(matches) > 1:
+        print(
+            f"telemetry trace: prefix {args.trace_id!r} is ambiguous "
+            f"({len(matches)} matches)",
+            file=sys.stderr,
+        )
+        return 2
+    roots = build_span_tree(events, matches[0])
+    if args.json:
+        print(
+            _json.dumps(
+                {"trace": matches[0], "roots": [r.to_json() for r in roots]},
+                indent=2,
+            )
+        )
+    else:
+        print(render_span_tree(roots, matches[0]))
+    return 0
+
+
+def _cmd_telemetry_tail(args: argparse.Namespace) -> int:
+    from repro.obs.tail import follow
+
+    try:
+        for line in follow(
+            args.events,
+            rollup_every_s=args.rollup,
+            from_start=not args.new_only,
+        ):
+            print(line.text, flush=True)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -889,6 +971,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
             resp = client.status().raise_for_status()
             print(_json.dumps(resp.payload, indent=2))
             return 0
+        if cmd == "metrics":
+            sys.stdout.write(client.metrics())
+            return 0
         if cmd == "events":
             for event in client.events(
                 max_events=args.max_events, timeout=args.listen
@@ -1051,7 +1136,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_classify)
 
     p = sub.add_parser(
-        "telemetry", help="inspect telemetry event streams (report)"
+        "telemetry",
+        help="inspect telemetry event streams (report/trace/tail)",
     )
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
     tr = tsub.add_parser(
@@ -1072,6 +1158,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest campaign tasks to list (default 10)",
     )
     tr.set_defaults(fn=_cmd_telemetry_report)
+
+    tt = tsub.add_parser(
+        "trace",
+        help="reassemble one trace's span tree from an event stream",
+        description="Pair span_start/span_end events sharing a trace id "
+        "(possibly merged from serve, client and worker streams) into one "
+        "rooted span tree.  Without a trace id, lists the ids present.",
+    )
+    tt.add_argument("events", help="telemetry event stream (JSONL)")
+    tt.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="32-hex trace id (a unique prefix works); omit to list",
+    )
+    tt.add_argument("--json", action="store_true", help="machine-readable output")
+    tt.set_defaults(fn=_cmd_telemetry_trace)
+
+    tl = tsub.add_parser(
+        "tail",
+        help="follow a telemetry JSONL file live (tail -f with rollups)",
+        description="Follow an event stream as it is written: one formatted "
+        "line per event plus a periodic rollup (event/trace/search totals, "
+        "cache hit rate, p95 search seconds).  Survives truncation and "
+        "waits for the file to appear.  Ctrl-C exits cleanly.",
+    )
+    tl.add_argument("events", help="telemetry event stream (JSONL)")
+    tl.add_argument(
+        "--rollup", type=float, default=5.0, metavar="S",
+        help="seconds between rollup lines (default 5)",
+    )
+    tl.add_argument(
+        "--new-only", action="store_true",
+        help="start at end-of-file instead of replaying existing events",
+    )
+    tl.set_defaults(fn=_cmd_telemetry_tail)
 
     p = sub.add_parser(
         "lint",
@@ -1220,6 +1340,11 @@ def build_parser() -> argparse.ArgumentParser:
     kp = ksub.add_parser("status", help="GET /v1/status")
     kp.set_defaults(fn=_cmd_client)
 
+    kp = ksub.add_parser(
+        "metrics", help="GET /metrics (Prometheus text exposition)"
+    )
+    kp.set_defaults(fn=_cmd_client)
+
     kp = ksub.add_parser("events", help="GET /v1/events (stream telemetry NDJSON)")
     kp.add_argument("--max-events", type=int, default=50)
     kp.add_argument(
@@ -1329,8 +1454,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    with _telemetry_session(args, args.command):
-        return args.fn(args)
+    try:
+        with _telemetry_session(args, args.command):
+            return args.fn(args)
+    except BrokenPipeError:
+        # stdout piped into head/less that exited: not an error.  Point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,27 +24,73 @@ import os
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-from repro.obs.core import EVENT_SCHEMA_VERSION, Mark, Span, SpanStats, Telemetry
+from repro.obs.core import (
+    EVENT_SCHEMA_VERSION,
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    Mark,
+    Span,
+    SpanStats,
+    Telemetry,
+)
 from repro.obs.export import (
     SNAPSHOT_SCHEMA,
     JsonlExporter,
     snapshot_report,
     write_snapshot,
 )
-from repro.obs.schema import EVENT_KINDS, validate_event, validate_stream
+from repro.obs.prom import (
+    CONTENT_TYPE as PROM_CONTENT_TYPE,
+)
+from repro.obs.prom import (
+    check_exposition,
+    render_prometheus,
+)
+from repro.obs.schema import (
+    ACCEPTED_VERSIONS,
+    EVENT_KINDS,
+    validate_event,
+    validate_stream,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TRACE_HEADER,
+    TraceContext,
+    extract_env,
+    extract_traceparent,
+    format_traceparent,
+    inject_env,
+    new_context,
+    parse_traceparent,
+)
 
 __all__ = [
+    "ACCEPTED_VERSIONS",
     "EVENT_KINDS",
     "EVENT_SCHEMA_VERSION",
+    "HISTOGRAM_BOUNDS",
+    "PROM_CONTENT_TYPE",
     "SNAPSHOT_SCHEMA",
+    "TRACE_ENV",
+    "TRACE_HEADER",
+    "Histogram",
     "JsonlExporter",
     "Mark",
     "Span",
     "SpanStats",
     "Telemetry",
+    "TraceContext",
+    "check_exposition",
     "configure",
     "enabled",
+    "extract_env",
+    "extract_traceparent",
+    "format_traceparent",
     "get",
+    "inject_env",
+    "new_context",
+    "parse_traceparent",
+    "render_prometheus",
     "reset",
     "scope",
     "snapshot_report",

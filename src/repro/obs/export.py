@@ -23,7 +23,7 @@ from typing import Any, TextIO
 
 from repro.obs.core import Telemetry
 
-SNAPSHOT_SCHEMA = "repro-telemetry/v1"
+SNAPSHOT_SCHEMA = "repro-telemetry/v2"
 
 
 class JsonlExporter:

@@ -1,35 +1,48 @@
 """The telemetry JSONL event schema, and its validator.
 
-Every line of a telemetry event stream is one JSON object with exactly
-these base fields (see ``docs/OBSERVABILITY.md`` for the prose spec):
+Every line of a telemetry event stream is one JSON object with these
+base fields (see ``docs/OBSERVABILITY.md`` for the prose spec):
 
 ``v``
-    int -- event schema version; currently ``1``.
+    int -- event schema version; ``2`` is current, ``1`` streams
+    (recorded before distributed tracing) still validate.
 ``t``
     float -- wall-clock UNIX timestamp of emission.
 ``kind``
-    one of :data:`EVENT_KINDS`.
+    one of :data:`EVENT_KINDS` (``hist`` is v2-only).
 ``name``
     non-empty str -- span name, counter name, or event name.
 ``span``
     int or null -- for ``span_start``/``span_end``, the span's own id;
     for everything else, the id of the enclosing span (null at top
-    level).  Ids are unique within one collector.
+    level).  Ids are unique within one collector only.
 ``parent``
     int or null -- the parent span id (``span_*`` kinds only; null
     otherwise and for root spans).
 ``attrs``
     object -- free-form JSON-able annotations.
 
+v2 adds distributed-trace identity:
+
+``trace``
+    32 lowercase hex digits or null -- the trace (request) the event
+    belongs to.  Required non-null on span events.
+``sid`` / ``psid``
+    span events only: the span's globally unique 16-hex id and its
+    parent's (null for trace roots).  Unlike ``span``/``parent`` these
+    survive merging streams from different processes, so one request's
+    span tree reassembles from any mix of serve/worker streams.
+
 Kind-specific extras:
 
 ``span_end``
     ``dur_s``: non-negative float, the span's wall-clock duration.
-``counter`` / ``gauge``
-    ``value``: finite number (the increment, resp. the new level).
+``counter`` / ``gauge`` / ``hist``
+    ``value``: finite number (the increment, the new level, resp. the
+    observation folded into the named histogram).
 ``run_end``
     ``attrs.snapshot``: the final registry snapshot (counters, gauges,
-    per-name span aggregates).
+    histograms, per-name span aggregates).
 
 :func:`validate_event` returns a list of human-readable violations
 (empty = valid); :func:`validate_stream` folds that over a parsed event
@@ -40,6 +53,7 @@ report --strict`` are both built on these.
 from __future__ import annotations
 
 import math
+import re
 from typing import Any
 
 from repro.obs.core import EVENT_SCHEMA_VERSION
@@ -50,11 +64,18 @@ EVENT_KINDS = (
     "span_end",
     "counter",
     "gauge",
+    "hist",
     "event",
     "run_end",
 )
 
+#: schema versions the validator accepts (v1: pre-tracing streams)
+ACCEPTED_VERSIONS = (1, EVENT_SCHEMA_VERSION)
+
 _BASE_FIELDS = ("v", "t", "kind", "name", "span", "parent", "attrs")
+
+_TRACE_RE = re.compile(r"^[0-9a-f]{32}$")
+_SID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 
 def _is_number(value: Any) -> bool:
@@ -63,6 +84,32 @@ def _is_number(value: Any) -> bool:
         and not isinstance(value, bool)
         and math.isfinite(value)
     )
+
+
+def _validate_v2_trace(event: dict[str, Any], errors: list[str]) -> None:
+    """The v2-only identity fields: ``trace`` always, ``sid``/``psid``
+    on span events."""
+    kind = event["kind"]
+    if "trace" not in event:
+        errors.append("v2 event is missing the trace field")
+        return
+    trace = event["trace"]
+    if trace is not None and (
+        not isinstance(trace, str) or not _TRACE_RE.match(trace)
+    ):
+        errors.append(f"trace must be 32 hex digits or null, got {trace!r}")
+    if kind not in ("span_start", "span_end"):
+        return
+    if trace is None:
+        errors.append(f"{kind} must carry a non-null trace id")
+    sid = event.get("sid")
+    if not isinstance(sid, str) or not _SID_RE.match(sid):
+        errors.append(f"{kind} needs a 16-hex sid, got {sid!r}")
+    psid = event.get("psid")
+    if psid is not None and (
+        not isinstance(psid, str) or not _SID_RE.match(psid)
+    ):
+        errors.append(f"psid must be 16 hex digits or null, got {psid!r}")
 
 
 def validate_event(event: Any) -> list[str]:
@@ -75,13 +122,20 @@ def validate_event(event: Any) -> list[str]:
             errors.append(f"missing field {fld!r}")
     if errors:
         return errors
-    if event["v"] != EVENT_SCHEMA_VERSION:
-        errors.append(f"unknown schema version {event['v']!r}")
+    version = event["v"]
+    if version not in ACCEPTED_VERSIONS:
+        errors.append(
+            f"unknown schema version {version!r} "
+            f"(accepted: {', '.join(map(str, ACCEPTED_VERSIONS))})"
+        )
+        return errors
     if not _is_number(event["t"]):
         errors.append(f"t is not a finite number: {event['t']!r}")
     kind = event["kind"]
     if kind not in EVENT_KINDS:
         errors.append(f"unknown kind {kind!r}")
+    elif kind == "hist" and version < 2:
+        errors.append("hist events need schema v2")
     name = event["name"]
     if not isinstance(name, str) or not name:
         errors.append(f"name must be a non-empty string, got {name!r}")
@@ -94,10 +148,12 @@ def validate_event(event: Any) -> list[str]:
         dur = event.get("dur_s")
         if not _is_number(dur) or dur < 0:
             errors.append(f"span_end needs a non-negative dur_s, got {dur!r}")
-    if kind in ("counter", "gauge") and not _is_number(event.get("value")):
+    if kind in ("counter", "gauge", "hist") and not _is_number(event.get("value")):
         errors.append(f"{kind} needs a numeric value, got {event.get('value')!r}")
     if kind == "span_start" and event["span"] is None:
         errors.append("span_start must carry its own span id")
+    if version >= 2 and kind in EVENT_KINDS:
+        _validate_v2_trace(event, errors)
     return errors
 
 

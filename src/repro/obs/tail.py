@@ -1,0 +1,152 @@
+"""Live-follow a telemetry JSONL stream (``repro telemetry tail``).
+
+:func:`follow` is a generator over :class:`TailLine` items: one per
+event line as it lands (pretty one-line rendering), plus periodic
+``rollup`` lines summarising the counters/histograms folded so far --
+`tail -f` with a running report.  It survives the stream's normal
+hazards: the file not existing yet (waits for it), truncation/rotation
+(reopens from the top), and partial trailing lines (buffers until the
+newline arrives, matching the exporter's line-at-a-time flush).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.obs.report import TelemetryReport, fold_events
+
+
+@dataclass(frozen=True)
+class TailLine:
+    """One unit of tail output: an event line or a periodic rollup."""
+
+    kind: str  # "event" | "rollup" | "info"
+    text: str
+
+
+def format_event(event: dict[str, Any]) -> str:
+    """One aligned line per event (the tail's per-line rendering)."""
+    kind = str(event.get("kind", "?"))
+    name = str(event.get("name", "?"))
+    t = event.get("t")
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(t))
+        if isinstance(t, (int, float))
+        else "--:--:--"
+    )
+    trace = event.get("trace")
+    tshort = trace[:8] if isinstance(trace, str) else "-"
+    detail = ""
+    if kind == "span_end":
+        dur = event.get("dur_s")
+        if isinstance(dur, (int, float)):
+            detail = f" dur={dur * 1000:.1f}ms"
+    elif kind in ("counter", "gauge", "hist"):
+        detail = f" value={event.get('value')}"
+    attrs = event.get("attrs")
+    if isinstance(attrs, dict) and attrs:
+        pairs = ", ".join(f"{k}={v}" for k, v in list(attrs.items())[:4])
+        detail += f" {{{pairs}}}"
+    return f"{stamp} [{tshort}] {kind:<10} {name}{detail}"
+
+
+def format_rollup(report: TelemetryReport) -> str:
+    """The periodic one-line rollup: events seen plus headline metrics."""
+    bits = [f"events={report.events}"]
+    if report.traces:
+        bits.append(f"traces={len(report.traces)}")
+    searches = report.counters.get("search.calls")
+    if searches:
+        bits.append(f"searches={searches:g}")
+    states = report.counters.get("search.states_explored")
+    if states:
+        bits.append(f"states={states:g}")
+    hit_rate = report.cache_hit_rate()
+    if hit_rate is not None:
+        bits.append(f"cache_hit={hit_rate:.0%}")
+    for name in ("serve.request.latency_s", "campaign.task.wall_s"):
+        hist = report.histograms.get(name)
+        if hist is not None and hist.count:
+            bits.append(f"{name.split('.', 1)[1]}.p95={hist.quantile(0.95):g}")
+    if report.invalid:
+        bits.append(f"violations={len(report.invalid)}")
+    return "-- rollup: " + " ".join(bits)
+
+
+def follow(
+    path: str | Path,
+    *,
+    poll_s: float = 0.2,
+    rollup_every_s: float = 5.0,
+    from_start: bool = True,
+    stop: Callable[[], bool] | None = None,
+    _sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[TailLine]:
+    """Yield :class:`TailLine` items as ``path`` grows (never returns
+    unless ``stop()`` goes true -- tests pass one; the CLI uses Ctrl-C).
+
+    ``from_start=False`` skips history and only follows new events.
+    Truncation (size shrank) reopens from the top with a note.
+    """
+    path = Path(path)
+    report = TelemetryReport(path=str(path))
+    offset = 0
+    buffer = ""
+    waiting_said = False
+    last_rollup = time.monotonic()
+    if not from_start and path.exists():
+        offset = path.stat().st_size
+    while True:
+        if stop is not None and stop():
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            if not waiting_said:
+                waiting_said = True
+                yield TailLine("info", f"waiting for {path} ...")
+            _sleep(poll_s)
+            continue
+        if size < offset:
+            yield TailLine("info", f"{path} truncated; following from the top")
+            offset, buffer = 0, ""
+        if size > offset:
+            with open(path, encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+            buffer += chunk
+            lines = buffer.split("\n")
+            buffer = lines.pop()  # partial trailing line, if any
+            fresh: list[dict[str, Any]] = []
+            for raw in lines:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    event = json.loads(raw)
+                except ValueError:
+                    report.unparseable_lines += 1
+                    yield TailLine("info", f"unparseable line: {raw[:80]!r}")
+                    continue
+                if isinstance(event, dict):
+                    fresh.append(event)
+                    yield TailLine("event", format_event(event))
+                else:
+                    report.unparseable_lines += 1
+            if fresh:
+                report.events += len(fresh)
+                fold_events(report, fresh)
+        else:
+            _sleep(poll_s)
+        now = time.monotonic()
+        if report.events and now - last_rollup >= rollup_every_s:
+            last_rollup = now
+            yield TailLine("rollup", format_rollup(report))
+
+
+__all__ = ["TailLine", "follow", "format_event", "format_rollup"]

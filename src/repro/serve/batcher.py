@@ -26,6 +26,7 @@ import asyncio
 from concurrent.futures import Executor
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.campaign.cache import CacheBackend
 from repro.campaign.runner import RunnerConfig, run_campaign
 from repro.campaign.tasks import CampaignTask, TaskResult
@@ -85,6 +86,11 @@ class MicroBatcher:
         self._pending: dict[str, asyncio.Future[TaskResult]] = {}
         self._queue: list[CampaignTask] = []
         self._flush_scheduled = False
+        #: task_hash -> traceparent carrier of the request that queued it.
+        #: Captured at submit time because the batch thread (and one batch
+        #: mixing tasks from different requests) cannot see the submitting
+        #: request's contextvars.
+        self._trace_carriers: dict[str, str] = {}
 
     @property
     def inflight(self) -> int:
@@ -116,6 +122,11 @@ class MicroBatcher:
         fut = loop.create_future()
         self._pending[task.task_hash] = fut
         self._queue.append(task)
+        tel = obs.get()
+        if tel is not None:
+            ctx = tel.current_context()
+            if ctx is not None:
+                self._trace_carriers[task.task_hash] = obs.format_traceparent(ctx)
         if not self._flush_scheduled:
             self._flush_scheduled = True
             loop.call_later(
@@ -138,6 +149,7 @@ class MicroBatcher:
         except Exception as exc:  # noqa: BLE001 - infra failure -> every waiter
             for task in batch:
                 fut = self._pending.pop(task.task_hash, None)
+                self._trace_carriers.pop(task.task_hash, None)
                 if fut is not None and not fut.done():
                     fut.set_exception(exc)
             return
@@ -147,12 +159,22 @@ class MicroBatcher:
             if not result.ok:
                 self.stats.failures += 1
             fut = self._pending.pop(task.task_hash, None)
+            self._trace_carriers.pop(task.task_hash, None)
             if fut is not None and not fut.done():
                 fut.set_result(result)
 
     def _run_batch(self, batch: list[CampaignTask]) -> list[TaskResult]:
+        traces = {
+            task.task_hash: carrier
+            for task in batch
+            if (carrier := self._trace_carriers.get(task.task_hash)) is not None
+        }
         results, summary = run_campaign(
-            batch, cache=self.cache, config=self.config, spec_name=self.spec_name
+            batch,
+            cache=self.cache,
+            config=self.config,
+            spec_name=self.spec_name,
+            traces=traces or None,
         )
         self.stats.executed_live += summary.live
         return results

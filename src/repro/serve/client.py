@@ -10,6 +10,11 @@ third-party HTTP library).
 register with the coordinator, receive a ``{spec, shard}`` work order,
 execute the shard locally with :func:`~repro.campaign.runner.run_campaign`,
 and report the ``(task, result)`` pairs back for merging.
+
+When telemetry is enabled in the calling process and a span is open
+(e.g. the CLI's root span), every request carries an ``X-Repro-Trace``
+header, so the server's events -- and its campaign workers' events --
+join the caller's trace.
 """
 
 from __future__ import annotations
@@ -22,10 +27,20 @@ from http.client import HTTPConnection
 from typing import Any
 from urllib.parse import urlencode, urlsplit
 
+import repro.obs as obs
 from repro.campaign.cache import CacheBackend
 from repro.campaign.runner import RunnerConfig, run_campaign
 from repro.campaign.specs import build_spec
 from repro.campaign.tasks import CampaignTask, parse_shard, shard_tasks
+
+
+def _trace_header() -> str | None:
+    """The current trace carrier, when telemetry is on and a span is open."""
+    tel = obs.get()
+    if tel is None:
+        return None
+    ctx = tel.current_context()
+    return None if ctx is None else obs.format_traceparent(ctx)
 
 
 class ServeError(Exception):
@@ -100,6 +115,9 @@ class ServeClient:
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            carrier = _trace_header()
+            if carrier is not None:
+                headers[obs.TRACE_HEADER] = carrier
             conn.request(method, path, body=body, headers=headers)
             resp = conn.getresponse()
             raw = resp.read()
@@ -158,6 +176,17 @@ class ServeClient:
     def status(self) -> ServeResponse:
         return self._request("GET", "/v1/status")
 
+    def metrics(self) -> str:
+        """Scrape ``GET /metrics``; returns the raw exposition text."""
+        resp = self._request("GET", "/metrics")
+        if not resp.ok:
+            message = ""
+            if isinstance(resp.payload, dict):
+                message = str(resp.payload.get("error", ""))
+            raise ServeError(resp.status, message or "metrics scrape failed",
+                             resp.payload)
+        return resp.body.decode("utf-8")
+
     def events(
         self, *, max_events: int = 50, timeout: float = 5.0
     ) -> list[dict[str, Any]]:
@@ -167,7 +196,9 @@ class ServeClient:
         events: list[dict[str, Any]] = []
         try:
             query = urlencode({"max_events": max_events, "timeout": timeout})
-            conn.request("GET", f"/v1/events?{query}")
+            carrier = _trace_header()
+            headers = {} if carrier is None else {obs.TRACE_HEADER: carrier}
+            conn.request("GET", f"/v1/events?{query}", headers=headers)
             resp = conn.getresponse()
             if resp.status != 200:
                 raw = resp.read()

@@ -14,6 +14,9 @@ verification queries become service calls:
                            integrity scans, coordinator state
 ``GET  /v1/events``        live telemetry stream as newline-delimited
                            JSON (docs/OBSERVABILITY.md schema)
+``GET  /metrics``          Prometheus text exposition of the live
+                           registry (counters, gauges, histograms,
+                           span summaries)
 ``POST /v1/coordinator/register``  claim a ``--shard i/n`` work order
 ``POST /v1/coordinator/report``    merge a worker's results back
 ``GET  /v1/coordinator/status``    fleet coverage + merged union
@@ -33,6 +36,12 @@ Task endpoints attach provenance headers instead of polluting the
 verdict payload (which must stay CLI-identical): ``X-Repro-Source``
 (``cache`` / ``inflight`` / ``live``), ``X-Repro-Task-Hash``,
 ``X-Repro-Wall-Time``.
+
+Distributed tracing: an ``X-Repro-Trace`` request header (W3C
+traceparent shaped, see ``repro.obs.trace``) joins the request to the
+caller's trace -- every event the request produces, including campaign
+pool worker events, carries the caller's trace id.  Without the header
+each request starts a fresh trace.
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ import time
 from collections import Counter
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import suppress
+from contextlib import nullcontext, suppress
 from dataclasses import dataclass, field
 from typing import Any
 from urllib.parse import parse_qs
@@ -170,6 +179,20 @@ def _json_response(
         lines.append(f"{key}: {value}")
     lines += ["", ""]
     return "\r\n".join(lines).encode("latin-1") + body
+
+
+def _text_response(status: int, body: str, content_type: str) -> bytes:
+    data = body.encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+        f"Server: {SERVER_NAME}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(data)}",
+        "Connection: close",
+        "",
+        "",
+    ]
+    return "\r\n".join(lines).encode("latin-1") + data
 
 
 def _serve_headers(result: Any, source: str) -> dict[str, str]:
@@ -370,11 +393,23 @@ class ReproServer:
                 return
             self.requests += 1
             self.by_endpoint[f"{req.method} {req.path}"] += 1
+            tel = self._tel
+            # join the caller's trace when the carrier header is present
+            # (lenient: a malformed header means a fresh trace, never a 4xx)
+            ctx = (
+                obs.extract_traceparent(req.headers.get("x-repro-trace"))
+                if tel is not None
+                else None
+            )
             try:
-                if req.method == "GET" and req.path == "/v1/events":
-                    await self._h_events(req, writer)
-                    return
-                status, payload, headers = await self._dispatch(req)
+                with tel.activate(ctx) if tel is not None else nullcontext():
+                    if req.method == "GET" and req.path == "/metrics":
+                        await self._h_metrics(req, writer)
+                        return
+                    if req.method == "GET" and req.path == "/v1/events":
+                        await self._h_events(req, writer)
+                        return
+                    status, payload, headers = await self._dispatch(req)
                 writer.write(_json_response(status, payload, headers))
                 await writer.drain()
             except ApiError as exc:
@@ -410,18 +445,19 @@ class ReproServer:
         handler = routes.get((req.method, req.path))
         if handler is not None:
             return await handler(req)
+        extra = [("GET", "/v1/events"), ("GET", "/metrics")]
         if req.method == "GET" and req.path == "/":
-            endpoints = sorted(
-                f"{m} {p}" for m, p in list(routes) + [("GET", "/v1/events")]
-            )
+            endpoints = sorted(f"{m} {p}" for m, p in list(routes) + extra)
             return 200, {"server": SERVER_NAME, "endpoints": endpoints}, None
-        known_paths = {p for _, p in routes} | {"/v1/events"}
+        known_paths = {p for _, p in routes} | {p for _, p in extra}
         if req.path in known_paths:
             raise ApiError(405, f"method {req.method} not allowed for {req.path}")
         raise ApiError(
             404,
             f"unknown endpoint {req.path}",
-            endpoints=sorted({f"{m} {p}" for m, p in routes} | {"GET /v1/events"}),
+            endpoints=sorted(
+                {f"{m} {p}" for m, p in routes} | {f"{m} {p}" for m, p in extra}
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -465,6 +501,7 @@ class ReproServer:
         if tel is None:
             result, source = await self.batcher.submit(task)
         else:
+            t0 = time.perf_counter()
             with tel.span(
                 "serve.request",
                 endpoint=endpoint,
@@ -478,6 +515,12 @@ class ReproServer:
                     ok=result.ok,
                     source=source,
                 )
+            tel.observe(
+                "serve.request.latency_s",
+                time.perf_counter() - t0,
+                endpoint=endpoint,
+                source=source,
+            )
             tel.incr("serve.requests")
             tel.incr(f"serve.source.{source}")
         if not result.ok:
@@ -621,8 +664,15 @@ class ReproServer:
             timeout = float(req.query.get("timeout", "0")) or None
         except ValueError as exc:
             raise ApiError(400, f"bad events query: {exc}") from None
+        if max_events is not None and max_events < 0:
+            raise ApiError(
+                400, f"max_events must be non-negative, got {max_events}"
+            )
+        if timeout is not None and (timeout < 0 or timeout != timeout):
+            raise ApiError(400, f"timeout must be non-negative, got {timeout}")
         queue: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue()
         self._subscribers.add(queue)
+        self._tel.gauge("serve.events.subscribers", len(self._subscribers))
         try:
             writer.write(
                 (
@@ -659,6 +709,21 @@ class ReproServer:
             pass
         finally:
             self._subscribers.discard(queue)
+            if self._tel is not None:  # gauge symmetry: one per disconnect
+                self._tel.gauge("serve.events.subscribers", len(self._subscribers))
+
+    async def _h_metrics(
+        self, req: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._tel is None:
+            raise ApiError(
+                503,
+                "telemetry is disabled on this server "
+                "(restart without --no-telemetry)",
+            )
+        text = obs.render_prometheus(self._tel)
+        writer.write(_text_response(200, text, obs.PROM_CONTENT_TYPE))
+        await writer.drain()
 
     # ------------------------------------------------------------------
     # coordinator endpoints

@@ -1,9 +1,13 @@
 """Simulation statistics.
 
-Latency/throughput collection for the traffic benchmarks.  Aggregation uses
-NumPy only at summary time -- the per-event path is plain attribute updates,
-which profiling shows dominates; vectorizing the *summary* is where the
-guide's advice pays off, not the hot loop bookkeeping.
+Latency/throughput collection for the traffic benchmarks.  Latencies
+accumulate into the shared bucketed :class:`~repro.obs.core.Histogram`
+instead of an unbounded per-delivery list -- a long traffic run used to
+hold every latency sample in memory just to compute one p99 at the end.
+The histogram is O(1) memory, mergeable across runs, and its bucketed
+p50/p95/p99 are upper bounds within one power-of-two bucket, which is
+ample resolution for cycle-count latencies; count/sum/min/max (and
+therefore the mean) stay exact.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-import numpy as np
+from repro.obs.core import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.message import MessageState
@@ -24,7 +28,8 @@ class SimStats:
     cycles: int = 0
     flit_moves: int = 0
     arbitration_conflicts: int = 0
-    latencies: list[int] = field(default_factory=list)
+    #: bucketed latency distribution (replaces the old unbounded list)
+    latencies: Histogram = field(default_factory=Histogram)
     delivered_flits: int = 0
     #: cid -> cycles the channel queue was non-empty (only populated when
     #: SimConfig.track_utilization is set)
@@ -33,22 +38,28 @@ class SimStats:
     def record_delivery(self, m: "MessageState") -> None:
         lat = m.latency()
         if lat is not None:
-            self.latencies.append(lat)
+            self.latencies.observe(lat)
         self.delivered_flits += m.spec.length
 
     # ------------------------------------------------------------------
     @property
     def delivered_messages(self) -> int:
-        return len(self.latencies)
+        return self.latencies.count
 
     def mean_latency(self) -> float:
-        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+        return self.latencies.mean()  # exact: tracked sum / count
+
+    def p50_latency(self) -> float:
+        return self.latencies.quantile(0.5)
+
+    def p95_latency(self) -> float:
+        return self.latencies.quantile(0.95)
 
     def p99_latency(self) -> float:
-        return float(np.percentile(self.latencies, 99)) if self.latencies else float("nan")
+        return self.latencies.quantile(0.99)
 
     def max_latency(self) -> int:
-        return max(self.latencies) if self.latencies else 0
+        return int(self.latencies.max) if self.latencies.count else 0
 
     def throughput_flits_per_cycle(self) -> float:
         if self.cycles == 0:
@@ -71,6 +82,8 @@ class SimStats:
             "cycles": float(self.cycles),
             "delivered_messages": float(self.delivered_messages),
             "mean_latency": self.mean_latency(),
+            "p50_latency": self.p50_latency(),
+            "p95_latency": self.p95_latency(),
             "p99_latency": self.p99_latency(),
             "throughput_flits_per_cycle": self.throughput_flits_per_cycle(),
             "arbitration_conflicts": float(self.arbitration_conflicts),

@@ -14,7 +14,7 @@ from repro.obs import (
     validate_stream,
     write_snapshot,
 )
-from repro.obs.report import read_events, render, summarize
+from repro.obs.report import EventStreamError, read_events, render, summarize
 
 
 @pytest.fixture(autouse=True)
@@ -170,6 +170,7 @@ class TestSchema:
             tel.incr("n", 2)
             tel.gauge("g", 0.5)
             tel.event("fastpath", code="CRT001")
+            tel.observe("latency_s", 0.25)
             tel.point_span("campaign.task", 0.1, name="t")
         tel.run_end("repro.test")
         return sink.events
@@ -244,10 +245,20 @@ class TestSummarize:
 
     def test_unparseable_lines_counted(self, tmp_path):
         path = tmp_path / "events.jsonl"
-        path.write_text('not json\n[1,2]\n')
+        path.write_text(
+            '{"v": 1, "t": 0.0, "kind": "counter", "name": "c", "span": null,'
+            ' "parent": null, "attrs": {}, "value": 1}\n'
+            "not json\n[1,2]\n"
+        )
         report = summarize(path)
         assert report.unparseable_lines == 2
         assert not report.schema_valid
+
+    def test_no_parseable_events_is_a_named_defect(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("not json\n[1,2]\n")
+        with pytest.raises(EventStreamError, match="no parseable events"):
+            summarize(path)
 
     def test_certificate_activity_surfaced(self, tmp_path):
         """The certificate-layer counters get their own report line."""

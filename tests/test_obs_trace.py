@@ -1,0 +1,446 @@
+"""Trace context, histogram properties, schema v2, and the tail follower.
+
+Property-based round trips pin the carrier formats (header <-> carrier <->
+event fields) and the histogram merge law: merged quantiles are bounded
+by the input quantiles, so cross-process aggregation can never invent
+latency that no worker observed.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.obs as obs
+from repro.obs import (
+    Histogram,
+    Telemetry,
+    TraceContext,
+    extract_traceparent,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+    validate_event,
+    validate_stream,
+)
+from repro.obs.tail import TailLine, follow, format_event
+from repro.obs.trace import new_span_id, new_trace_id
+
+hex32 = st.text(alphabet="0123456789abcdef", min_size=32, max_size=32)
+hex16 = st.text(alphabet="0123456789abcdef", min_size=16, max_size=16)
+
+
+# ----------------------------------------------------------------------
+# trace context carriers
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    @given(trace_id=hex32, span_id=hex16)
+    @settings(max_examples=60, deadline=None)
+    def test_header_round_trip(self, trace_id, span_id):
+        ctx = TraceContext(trace_id, span_id)
+        header = format_traceparent(ctx)
+        assert parse_traceparent(header) == ctx
+        assert extract_traceparent(header) == ctx
+
+    @given(trace_id=hex32, span_id=hex16)
+    @settings(max_examples=30, deadline=None)
+    def test_env_round_trip(self, trace_id, span_id):
+        import os
+
+        prev = os.environ.pop(obs.TRACE_ENV, None)
+        ctx = TraceContext(trace_id, span_id)
+        obs.inject_env(ctx)
+        try:
+            assert obs.extract_env() == ctx
+        finally:
+            os.environ.pop(obs.TRACE_ENV, None)
+            if prev is not None:
+                os.environ[obs.TRACE_ENV] = prev
+
+    @given(junk=st.text(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_extract_is_lenient_parse_is_strict(self, junk):
+        """Arbitrary junk never crashes extract; parse raises unless the
+        string happens to be a well-formed traceparent."""
+        ctx = extract_traceparent(junk)
+        if ctx is None:
+            with pytest.raises(ValueError):
+                parse_traceparent(junk)
+        else:
+            assert format_traceparent(ctx).startswith(f"00-{ctx.trace_id}")
+
+    def test_extract_rejects_malformed_quietly(self):
+        for bad in (None, "", "00-zz-xx-01", "01-" + "0" * 32, "00-short-01"):
+            assert extract_traceparent(bad) is None
+
+    def test_context_validates_field_shapes(self):
+        with pytest.raises(ValueError):
+            TraceContext("nothex", "0" * 16)
+        with pytest.raises(ValueError):
+            TraceContext("0" * 32, "0" * 8)
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = new_context()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+
+    def test_ids_are_well_formed_and_distinct(self):
+        assert new_trace_id() != new_trace_id()
+        assert len(new_trace_id()) == 32 and len(new_span_id()) == 16
+
+
+# ----------------------------------------------------------------------
+# carrier <-> event fields: what the collector actually stamps
+# ----------------------------------------------------------------------
+class TestTraceStamping:
+    def _record(self, tel):
+        events = []
+        tel.add_sink(events.append)
+        return events
+
+    def test_every_event_carries_the_trace_field(self):
+        tel = Telemetry()
+        events = self._record(tel)
+        tel.incr("c")
+        with tel.span("outer"):
+            tel.incr("c")
+        assert all("trace" in e for e in events)
+
+    def test_span_events_join_the_activated_remote_context(self):
+        tel = Telemetry()
+        events = self._record(tel)
+        ctx = new_context()
+        with tel.activate(ctx):
+            with tel.span("serve.request"):
+                pass
+        starts = [e for e in events if e["kind"] == "span_start"]
+        assert starts[0]["trace"] == ctx.trace_id
+        assert starts[0]["psid"] == ctx.span_id
+
+    def test_local_spans_opened_after_activation_win(self):
+        """Nested spans parent to their local enclosing span, not to the
+        remote context -- only the anchor-level span joins remotely."""
+        tel = Telemetry()
+        events = self._record(tel)
+        ctx = new_context()
+        with tel.activate(ctx):
+            with tel.span("outer") as outer:
+                with tel.span("inner"):
+                    pass
+        starts = {e["name"]: e for e in events if e["kind"] == "span_start"}
+        assert starts["outer"]["psid"] == ctx.span_id
+        assert starts["inner"]["psid"] == outer.sid
+        assert starts["inner"]["trace"] == ctx.trace_id
+
+    def test_activation_beats_the_enclosing_span(self):
+        """The campaign serial path: per-task activation inside the long
+        campaign.run span must re-parent to the task's remote context."""
+        tel = Telemetry()
+        events = self._record(tel)
+        remote = new_context()
+        with tel.span("campaign.run"):
+            with tel.activate(remote):
+                with tel.span("campaign.task"):
+                    pass
+        starts = {e["name"]: e for e in events if e["kind"] == "span_start"}
+        assert starts["campaign.task"]["trace"] == remote.trace_id
+        assert starts["campaign.task"]["psid"] == remote.span_id
+        assert starts["campaign.run"]["trace"] != remote.trace_id
+
+    def test_activate_none_is_a_no_op(self):
+        tel = Telemetry()
+        with tel.activate(None):
+            assert tel.current_context() is None
+
+    def test_current_context_reflects_remote_then_local(self):
+        tel = Telemetry()
+        ctx = new_context()
+        with tel.activate(ctx):
+            assert tel.current_context() == ctx
+            with tel.span("s") as span:
+                assert tel.current_context() == span.context()
+        assert tel.current_context() is None
+
+
+# ----------------------------------------------------------------------
+# histogram algebra
+# ----------------------------------------------------------------------
+values = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _fill(samples):
+    h = Histogram()
+    for v in samples:
+        h.observe(v)
+    return h
+
+
+class TestHistogramProperties:
+    @given(a=st.lists(values, min_size=1), b=st.lists(values, min_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_quantiles_bounded_by_inputs(self, a, b):
+        """merge(A, B) quantiles lie within [min, max] of the input
+        quantiles' bucket range -- merging never invents observations."""
+        ha, hb = _fill(a), _fill(b)
+        merged = _fill(a).merge(_fill(b))
+        assert merged.count == ha.count + hb.count
+        assert merged.sum == pytest.approx(ha.sum + hb.sum)
+        assert merged.min == min(ha.min, hb.min)
+        assert merged.max == max(ha.max, hb.max)
+        for q in (0.5, 0.95, 0.99, 1.0):
+            lo = min(ha.quantile(q), hb.quantile(q))
+            hi = max(ha.quantile(q), hb.quantile(q))
+            assert lo <= merged.quantile(q) <= hi
+
+    @given(samples=st.lists(values, min_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_brackets_true_rank_value(self, samples):
+        """The bucketed quantile is an upper bound within one power-of-two
+        bucket of the exact order statistic."""
+        h = _fill(samples)
+        ordered = sorted(samples)
+        for q in (0.5, 0.95, 0.99):
+            exact = ordered[math.ceil(q * len(ordered)) - 1]
+            got = h.quantile(q)
+            assert got >= exact or got == pytest.approx(h.max)
+            assert got <= max(2 * exact, h.max)
+
+    @given(samples=st.lists(values, min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_preserves_everything(self, samples):
+        h = _fill(samples)
+        back = Histogram.from_json(json.loads(json.dumps(h.to_json())))
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.quantile(0.95) == h.quantile(0.95)
+        # to_json rounds sum to 6 decimals; the mean inherits that error
+        assert back.mean() == pytest.approx(h.mean(), abs=1e-6)
+
+    def test_merge_is_mean_exact(self):
+        h = _fill([1.0, 2.0]).merge(_fill([3.0]))
+        assert h.mean() == pytest.approx(2.0)
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.99))
+        assert math.isnan(Histogram().mean())
+
+    def test_from_json_rejects_wrong_bucket_count(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_json({"counts": [1, 2, 3], "count": 6, "sum": 1.0})
+
+    def test_overflow_bucket_reports_tracked_max(self):
+        h = _fill([float(2**30)])
+        assert h.quantile(0.99) == float(2**30)
+
+
+# ----------------------------------------------------------------------
+# schema v2 accepts recorded v1 streams
+# ----------------------------------------------------------------------
+class TestSchemaCompat:
+    def _v1(self, kind, name, **extra):
+        base = {
+            "v": 1, "t": 1.0, "kind": kind, "name": name,
+            "span": None, "parent": None, "attrs": {},
+        }
+        base.update(extra)
+        return base
+
+    def test_v1_stream_without_trace_fields_validates(self):
+        stream = [
+            self._v1("counter", "search.calls", value=1),
+            self._v1("gauge", "subscribers", value=0),
+            self._v1("span_start", "campaign.run", span=1),
+            self._v1("span_end", "campaign.run", span=1, dur_s=0.5),
+        ]
+        assert validate_stream(stream) == []
+
+    def test_v1_rejects_the_v2_only_hist_kind(self):
+        errors = validate_event(self._v1("hist", "latency_s", value=0.5))
+        assert any("hist" in e for e in errors)
+
+    def test_v2_span_requires_trace_and_sid(self):
+        event = {
+            "v": 2, "t": 1.0, "kind": "span_start", "name": "s",
+            "span": 1, "parent": None, "attrs": {},
+        }
+        errors = validate_event(event)
+        assert errors  # missing trace/sid
+        event.update(trace="0" * 32, sid="1" * 16, psid=None)
+        assert validate_event(event) == []
+
+    def test_v2_trace_must_be_32_hex_or_null(self):
+        event = {
+            "v": 2, "t": 1.0, "kind": "counter", "name": "c", "value": 1,
+            "span": None, "parent": None, "attrs": {}, "trace": "xyz",
+        }
+        assert validate_event(event)
+
+    def test_recorded_v1_file_summarizes_cleanly(self, tmp_path):
+        """A pre-upgrade recording (no trace/sid fields anywhere) still
+        validates and aggregates under the v2 reader."""
+        from repro.obs.report import summarize
+
+        path = tmp_path / "v1.jsonl"
+        stream = [
+            self._v1("run_start", "campaign"),
+            self._v1("counter", "search.calls", value=3),
+            self._v1("span_start", "search", span=1),
+            self._v1("span_end", "search", span=1, dur_s=0.25),
+            self._v1("run_end", "campaign"),
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in stream))
+        report = summarize(path)
+        assert report.schema_valid
+        assert report.counters["search.calls"] == 3
+        assert report.traces == []
+
+
+# ----------------------------------------------------------------------
+# live emission is always v2-valid
+# ----------------------------------------------------------------------
+def test_live_histogram_events_validate():
+    tel = Telemetry()
+    events = []
+    tel.add_sink(events.append)
+    tel.observe("latency_s", 0.125, endpoint="/v1/search")
+    with tel.span("s"):
+        tel.observe("width", 17)
+    assert [e for e in events if e["kind"] == "hist"]
+    for event in events:
+        assert validate_event(event) == []
+
+
+# ----------------------------------------------------------------------
+# tail follower
+# ----------------------------------------------------------------------
+class TestTailFollower:
+    def _drain(self, path, writes, rollup_every_s=1e9):
+        """Run follow() against scripted file writes; no real sleeping."""
+        ticks = {"n": 0}
+
+        def fake_sleep(_s):
+            ticks["n"] += 1
+            if ticks["n"] > 50:  # safety: scripted runs finish well before
+                raise AssertionError("follower stalled")
+
+        state = {"i": 0}
+
+        def stop():
+            if state["i"] < len(writes):
+                text = writes[state["i"]]
+                if text is not None:  # None: leave the file alone this tick
+                    path.write_text(text)
+                state["i"] += 1
+                return False
+            return True
+
+        return list(
+            follow(
+                path,
+                poll_s=0.0,
+                rollup_every_s=rollup_every_s,
+                stop=stop,
+                _sleep=fake_sleep,
+            )
+        )
+
+    def _event_line(self, name="search.calls", value=1):
+        return json.dumps(
+            {
+                "v": 2, "t": 1.0, "kind": "counter", "name": name,
+                "value": value, "attrs": {}, "trace": None,
+            }
+        )
+
+    def test_yields_events_then_stops(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = self._drain(path, [self._event_line() + "\n"])
+        kinds = [ln.kind for ln in lines]
+        assert "event" in kinds
+        assert all(isinstance(ln, TailLine) for ln in lines)
+
+    def test_waits_for_missing_file(self, tmp_path):
+        path = tmp_path / "later.jsonl"
+        lines = self._drain(path, [None, self._event_line() + "\n"])
+        assert any("waiting" in ln.text for ln in lines if ln.kind == "info")
+        assert any(ln.kind == "event" for ln in lines)
+
+    def test_truncation_reopens_from_top(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        long = (self._event_line() + "\n") * 3
+        short = self._event_line(name="after.truncate") + "\n"
+        lines = self._drain(path, [long, short])
+        assert any("truncated" in ln.text for ln in lines if ln.kind == "info")
+        assert any("after.truncate" in ln.text for ln in lines)
+
+    def test_partial_trailing_line_is_buffered_not_dropped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        whole = self._event_line(name="one") + "\n"
+        half = self._event_line(name="two")
+        lines = self._drain(path, [whole + half[:20], whole + half + "\n"])
+        assert sum(1 for ln in lines if ln.kind == "event") == 2
+        assert not any("unparseable" in ln.text for ln in lines)
+
+    def test_rollup_lines_appear_on_schedule(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = self._drain(
+            path, [self._event_line() + "\n"], rollup_every_s=0.0
+        )
+        rollups = [ln for ln in lines if ln.kind == "rollup"]
+        assert rollups and "events=1" in rollups[0].text
+
+    def test_format_event_shows_trace_prefix(self):
+        text = format_event(
+            {
+                "v": 2, "t": 0.0, "kind": "span_end", "name": "serve.request",
+                "dur_s": 0.25, "trace": "abcdef0123456789" * 2,
+                "attrs": {"endpoint": "/v1/search"},
+            }
+        )
+        assert "abcdef01" in text and "serve.request" in text
+
+
+# ----------------------------------------------------------------------
+# read_events named defects (satellite: no tracebacks for bad files)
+# ----------------------------------------------------------------------
+class TestEventStreamDefects:
+    def test_missing_file_names_the_defect(self, tmp_path):
+        from repro.obs.report import EventStreamError, read_events
+
+        with pytest.raises(EventStreamError, match="not found"):
+            read_events(tmp_path / "nope.jsonl")
+
+    def test_empty_file_names_the_defect(self, tmp_path):
+        from repro.obs.report import EventStreamError, read_events
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(EventStreamError, match="empty"):
+            read_events(path)
+
+    def test_directory_names_the_defect(self, tmp_path):
+        from repro.obs.report import EventStreamError, read_events
+
+        with pytest.raises(EventStreamError):
+            read_events(tmp_path)
+
+    def test_cli_report_exits_2_with_message(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["telemetry", "report", str(tmp_path / "missing.jsonl")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "telemetry report:" in err and "not found" in err
+
+    def test_cli_trace_exits_2_with_message(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["telemetry", "trace", str(tmp_path / "missing.jsonl")]
+        ) == 2
+        assert "telemetry trace:" in capsys.readouterr().err
